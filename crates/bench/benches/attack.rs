@@ -1,0 +1,76 @@
+//! E-P1 — performance benchmarks of the measurement and attack pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcon_dema::attack::{recover_coefficient, AttackConfig};
+use falcon_dema::cpa::{pearson, CorrMatrix};
+use falcon_dema::model::{hyp_partial_product, KnownOperand};
+use falcon_dema::Dataset;
+use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope};
+use falcon_sig::rng::Prng;
+use falcon_sig::{KeyPair, LogN};
+use std::hint::black_box;
+
+fn make_device(logn: u32) -> Device {
+    let mut rng = Prng::from_seed(b"bench attack key");
+    let kp = KeyPair::generate(LogN::new(logn).unwrap(), &mut rng);
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, 2.0),
+        lowpass: 0.0,
+        scope: Scope::default(),
+    };
+    Device::new(kp.into_parts().0, chain, b"bench attack")
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emsim");
+    g.sample_size(20);
+    let mut dev = make_device(9);
+    g.bench_function("capture/512", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            dev.capture(black_box(&i.to_le_bytes()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cpa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpa");
+    let hyps: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 23) as f64).collect();
+    let samples: Vec<f32> = (0..10_000).map(|i| ((i * 91) % 17) as f32).collect();
+    g.bench_function("pearson/10k", |b| b.iter(|| pearson(black_box(&hyps), black_box(&samples))));
+
+    g.bench_function("matrix_update/4096x14", |b| {
+        let mut m = CorrMatrix::new(4096, 14);
+        let h: Vec<f64> = (0..4096).map(|i| (i % 25) as f64).collect();
+        let w: Vec<f32> = (0..14).map(|i| i as f32).collect();
+        b.iter(|| m.update(black_box(&h), black_box(&w)))
+    });
+
+    g.bench_function("hypothesis/partial_product", |b| {
+        let k = KnownOperand::new(0x40B3_9D2A_4C01_7E55);
+        let mut g_ = 0u64;
+        b.iter(|| {
+            g_ = g_.wrapping_add(0x9E3779B9);
+            hyp_partial_product(black_box(g_ & 0x1FF_FFFF), 25, k.lo, 25)
+        })
+    });
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("attack");
+    g.sample_size(10);
+    let mut dev = make_device(4);
+    let mut msgs = Prng::from_seed(b"bench attack msgs");
+    let ds = Dataset::collect(&mut dev, &[1], 300, &mut msgs);
+    let cfg = AttackConfig::default();
+    g.bench_function("recover_coefficient/300tr", |b| {
+        b.iter(|| recover_coefficient(black_box(&ds), 1, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_capture, bench_cpa, bench_recovery);
+criterion_main!(benches);

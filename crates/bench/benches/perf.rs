@@ -1,0 +1,113 @@
+//! E-P1 — performance benchmarks of the cryptographic substrates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use falcon_fpr::Fpr;
+use falcon_sig::fft::{fft, ifft};
+use falcon_sig::hash::hash_to_point;
+use falcon_sig::ntt::NttTables;
+use falcon_sig::rng::Prng;
+use falcon_sig::sampler::sampler_z;
+use falcon_sig::shake::Shake256;
+use falcon_sig::{KeyPair, LogN};
+use std::hint::black_box;
+
+fn bench_fpr(c: &mut Criterion) {
+    let x = Fpr::from(1.2345678e3);
+    let y = Fpr::from(-8.7654321e-2);
+    let mut g = c.benchmark_group("fpr");
+    g.bench_function("add", |b| b.iter(|| black_box(x) + black_box(y)));
+    g.bench_function("mul", |b| b.iter(|| black_box(x) * black_box(y)));
+    g.bench_function("div", |b| b.iter(|| black_box(x) / black_box(y)));
+    g.bench_function("sqrt", |b| b.iter(|| black_box(x).sqrt()));
+    g.bench_function("expm_p63", |b| {
+        let r = Fpr::from(0.42);
+        let ccs = Fpr::from(0.73);
+        b.iter(|| black_box(r).expm_p63(black_box(ccs)))
+    });
+    g.finish();
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transforms");
+    for logn in [6u32, 9, 10] {
+        let n = 1usize << logn;
+        let poly: Vec<Fpr> = (0..n).map(|i| Fpr::from_i64((i as i64 % 255) - 127)).collect();
+        g.bench_with_input(BenchmarkId::new("fft", n), &poly, |b, p| {
+            b.iter(|| {
+                let mut v = p.clone();
+                fft(&mut v);
+                v
+            })
+        });
+        let mut freq = poly.clone();
+        fft(&mut freq);
+        g.bench_with_input(BenchmarkId::new("ifft", n), &freq, |b, p| {
+            b.iter(|| {
+                let mut v = p.clone();
+                ifft(&mut v);
+                v
+            })
+        });
+        let tables = NttTables::new(logn);
+        let ints: Vec<u32> = (0..n as u32).map(|i| (i * 37 + 1) % 12289).collect();
+        g.bench_with_input(BenchmarkId::new("ntt", n), &ints, |b, p| {
+            b.iter(|| {
+                let mut v = p.clone();
+                tables.ntt(&mut v);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash_and_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    g.bench_function("shake256/1KiB", |b| {
+        let data = vec![0xA5u8; 1024];
+        let mut out = [0u8; 32];
+        b.iter(|| {
+            Shake256::digest(black_box(&data), &mut out);
+            out
+        })
+    });
+    g.bench_function("hash_to_point/512", |b| {
+        b.iter(|| hash_to_point(black_box(&[7u8; 40]), black_box(b"bench message"), 512))
+    });
+    g.bench_function("sampler_z", |b| {
+        let mut rng = Prng::from_seed(b"bench sampler");
+        let mu = Fpr::from(0.37);
+        let isigma = Fpr::from(1.0 / 1.6);
+        let smin = Fpr::from(1.2778336969128337);
+        b.iter(|| sampler_z(&mut rng, mu, isigma, smin))
+    });
+    g.finish();
+}
+
+fn bench_scheme(c: &mut Criterion) {
+    let mut g = c.benchmark_group("falcon");
+    g.sample_size(10);
+    for logn in [6u32, 9] {
+        let mut rng = Prng::from_seed(b"bench keypair");
+        let kp = KeyPair::generate(LogN::new(logn).unwrap(), &mut rng);
+        let n = 1usize << logn;
+        g.bench_function(BenchmarkId::new("sign", n), |b| {
+            b.iter(|| kp.signing_key().sign(black_box(b"benchmark message"), &mut rng))
+        });
+        let sig = kp.signing_key().sign(b"benchmark message", &mut rng);
+        g.bench_function(BenchmarkId::new("verify", n), |b| {
+            b.iter(|| kp.verifying_key().verify(black_box(b"benchmark message"), &sig))
+        });
+    }
+    // Key generation at a small degree (the NTRU tower dominates; the
+    // full FALCON-512 case takes seconds and is exercised by the
+    // examples).
+    g.bench_function("keygen/64", |b| {
+        let mut rng = Prng::from_seed(b"bench keygen");
+        b.iter(|| KeyPair::generate(LogN::new(6).unwrap(), &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fpr, bench_transforms, bench_hash_and_rng, bench_scheme);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! E-F2 — Figure 2: the decomposition of FALCON's emulated
+//! floating-point multiplication into the micro-operations the attack
+//! targets (partial products = extend targets, intermediate additions =
+//! prune targets).
+//!
+//! ```text
+//! cargo run --release -p falcon-bench --bin fig2_microops [x=<hex>] [y=<hex>]
+//! ```
+
+use falcon_bench::report::print_table;
+use falcon_fpr::{Fpr, MulStep, RecordingObserver};
+
+fn parse_hex(key: &str, default: u64) -> u64 {
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix(&format!("{key}=")) {
+            if let Ok(p) = u64::from_str_radix(v.trim_start_matches("0x"), 16) {
+                return p;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    // Default: the paper's Section IV example coefficient times a typical
+    // hashed-message coefficient.
+    let x = parse_hex("x", 0xC060_17BC_8036_B580);
+    let y = parse_hex("y", 0x40B3_9D2A_4C01_7E55);
+    let fx = Fpr::from_bits(x);
+    let fy = Fpr::from_bits(y);
+    println!("x = {x:#018x} ({})", fx.to_f64());
+    println!("y = {y:#018x} ({})", fy.to_f64());
+
+    let mut obs = RecordingObserver::new();
+    let r = fx.mul_observed(fy, &mut obs);
+    println!("x*y = {:#018x} ({})", r.to_bits(), r.to_f64());
+
+    let phase = |s: &MulStep| -> &'static str {
+        match s {
+            MulStep::PartialProduct { .. } => "EXTEND target (multiplication)",
+            MulStep::IntermediateAdd { .. } => "PRUNE target (addition)",
+            MulStep::ExponentAdd { .. } => "exponent attack target",
+            MulStep::SignXor { .. } => "sign attack target",
+            _ => "",
+        }
+    };
+    let rows: Vec<Vec<String>> = obs
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            vec![
+                i.to_string(),
+                format!("{s:?}").split(' ').next().unwrap_or("?").trim_end_matches('{').to_string(),
+                format!("{:#018x}", s.data_word()),
+                s.data_word().count_ones().to_string(),
+                phase(s).to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2: micro-operations of one fpr multiplication",
+        &["t", "micro-op", "data word", "HW", "attack role"],
+        &rows,
+    );
+    println!(
+        "\nMantissa split of x: high 28 bits (C) = {:#09x}, low 25 bits (D) = {:#09x}",
+        (fx.mantissa_bits() | (1 << 52)) >> 25,
+        (fx.mantissa_bits() | (1 << 52)) & 0x1FF_FFFF
+    );
+}

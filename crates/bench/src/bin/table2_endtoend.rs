@@ -1,0 +1,73 @@
+//! E-T2 — the paper's end-to-end claim: extracting all targeted
+//! coefficients lets the adversary recover the entire signing key and
+//! forge signatures on arbitrary messages.
+//!
+//! ```text
+//! cargo run --release -p falcon-bench --bin table2_endtoend \
+//!     [logn=6] [noise=2.0] [traces=700]
+//! ```
+//!
+//! The defaults complete in ~1 minute on one core; `logn=9 noise=8.6
+//! traces=10000` reproduces the paper's regime on FALCON-512 (hours of
+//! compute: 512 coefficients × beam search).
+
+use falcon_bench::report::{arg_or, print_table};
+use falcon_bench::setup::victim;
+use falcon_dema::attack::{recover_all_verified, AttackConfig};
+use falcon_dema::recover::key_from_fft_bits;
+use falcon_dema::Dataset;
+use falcon_sig::rng::Prng;
+use std::time::Instant;
+
+fn main() {
+    let logn: u32 = arg_or("logn", 6);
+    let noise: f64 = arg_or("noise", 2.0);
+    let traces: usize = arg_or("traces", 700);
+    let n = 1usize << logn;
+
+    let (mut device, vk, truth) = victim(logn, noise, "table2 victim");
+    let targets: Vec<usize> = (0..n).collect();
+    let mut msgs = Prng::from_seed(b"table2 messages");
+
+    let t0 = Instant::now();
+    let ds = Dataset::collect(&mut device, &targets, traces, &mut msgs);
+    let t_acq = t0.elapsed();
+
+    let t0 = Instant::now();
+    let results = recover_all_verified(&ds, &AttackConfig::default());
+    let t_rec = t0.elapsed();
+    let exact = results.iter().zip(&truth).filter(|((r, _), &w)| r.bits == w).count();
+
+    let bits: Vec<u64> = results.iter().map(|(r, _)| r.bits).collect();
+    let t0 = Instant::now();
+    let recovered = key_from_fft_bits(&bits, &vk);
+    let t_key = t0.elapsed();
+
+    let forged_ok = recovered.as_ref().map(|rec| {
+        let sig = rec.sk.sign(b"arbitrary forged message", &mut msgs);
+        vk.verify(b"arbitrary forged message", &sig)
+    });
+
+    let rows = vec![
+        vec!["parameter set".into(), format!("FALCON-{n}")],
+        vec!["noise sigma".into(), format!("{noise}")],
+        vec!["traces".into(), format!("{traces}")],
+        vec!["acquisition time".into(), format!("{t_acq:.2?}")],
+        vec!["coefficients recovered".into(), format!("{exact}/{n}")],
+        vec!["recovery time".into(), format!("{t_rec:.2?}")],
+        vec!["key recovery (iFFT + NTRU solve)".into(), format!("{t_key:.2?}")],
+        vec![
+            "full private key recovered".into(),
+            recovered.is_some().to_string(),
+        ],
+        vec![
+            "forged signature verifies".into(),
+            forged_ok.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),
+        ],
+    ];
+    print_table("Table 2: end-to-end key extraction and forgery", &["metric", "value"], &rows);
+
+    assert_eq!(exact, n, "expected full coefficient extraction at these settings");
+    assert_eq!(forged_ok, Some(true), "forgery must verify under the victim's key");
+    println!("\npaper claim reproduced: signing keys extracted; arbitrary messages signed.");
+}

@@ -1,0 +1,8 @@
+//! Shared helpers for the Falcon Down benchmark and figure harness.
+//!
+//! The `bin/` targets of this crate regenerate every figure and headline
+//! number of the paper's evaluation (see EXPERIMENTS.md for the index);
+//! the `benches/` targets are Criterion micro/macro benchmarks.
+
+pub mod report;
+pub mod setup;

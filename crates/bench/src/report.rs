@@ -1,0 +1,78 @@
+//! Plain-text reporting helpers shared by the figure/table regenerators.
+
+/// Prints an aligned table: a header row then data rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints a CSV block (for plotting the figure series).
+pub fn print_csv(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n-- csv: {title} --");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}
+
+/// Renders a quick ASCII sparkline of a series (amplitude-normalised).
+pub fn sparkline(series: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let span = (max - min).max(1e-12);
+    series
+        .iter()
+        .map(|v| GLYPHS[(((v - min) / span) * 7.0).round().clamp(0.0, 7.0) as usize])
+        .collect()
+}
+
+/// Tiny `key=value` CLI parser: returns the value for `key` or the
+/// default.
+pub fn arg_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    for a in std::env::args().skip(1) {
+        if let Some(v) = a.strip_prefix(&format!("{key}=")) {
+            if let Ok(parsed) = v.parse::<T>() {
+                return parsed;
+            }
+        }
+    }
+    default
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        let chars: Vec<char> = s.chars().collect();
+        assert!(chars[0] < chars[2]);
+    }
+
+    #[test]
+    fn arg_default_passthrough() {
+        assert_eq!(arg_or("nonexistent_key", 42u32), 42);
+    }
+}

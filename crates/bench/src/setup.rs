@@ -1,0 +1,29 @@
+//! Common experiment setup: victim device construction mirroring the
+//! paper's measurement bench.
+
+use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope};
+use falcon_sig::rng::Prng;
+use falcon_sig::{KeyPair, LogN};
+
+/// The calibrated noise level of the default measurement chain (see
+/// DESIGN.md §2 and the `LeakageModel::default` docs): chosen so the
+/// paper's headline trace counts land in the same regime.
+pub const PAPER_NOISE_SIGMA: f64 = 8.6;
+
+/// Builds a victim: key pair plus instrumented device.
+///
+/// Returns `(device, verifying key, ground-truth FFT(f) bits)`.
+pub fn victim(logn: u32, noise_sigma: f64, seed: &str) -> (Device, falcon_sig::VerifyingKey, Vec<u64>) {
+    let params = LogN::new(logn).expect("logn in 1..=10");
+    let mut rng = Prng::from_seed(seed.as_bytes());
+    let kp = KeyPair::generate(params, &mut rng);
+    let vk = kp.verifying_key().clone();
+    let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, noise_sigma),
+        lowpass: 0.0,
+        scope: Scope::default(),
+    };
+    let device = Device::new(kp.into_parts().0, chain, format!("{seed}/bench").as_bytes());
+    (device, vk, truth)
+}

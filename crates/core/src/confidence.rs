@@ -1,0 +1,80 @@
+//! Statistical significance of correlation estimates.
+//!
+//! The paper declares a leak exploited once the correct guess's
+//! correlation exceeds the 99.99 % confidence interval of the
+//! no-correlation hypothesis while all wrong guesses stay inside it.
+//! Under Fisher's z-transform, an empirical correlation over `D` traces
+//! is significant at level `α` when `|r| > tanh(z_α / √(D − 3))`.
+
+/// Two-sided standard-normal quantile for 99.99 % confidence.
+pub const Z_9999: f64 = 3.890_591_886;
+
+/// The correlation magnitude that is significant at 99.99 % for `d`
+/// traces.
+pub fn threshold_9999(d: u64) -> f64 {
+    threshold(d, Z_9999)
+}
+
+/// Significance threshold for an arbitrary normal quantile `z`.
+pub fn threshold(d: u64, z: f64) -> f64 {
+    if d <= 3 {
+        return 1.0;
+    }
+    (z / ((d - 3) as f64).sqrt()).tanh()
+}
+
+/// Given a correlation-evolution series for the correct guess (entry `i`
+/// = correlation over `i + 1` traces), the smallest trace count at which
+/// the correlation crosses the 99.99 % threshold **and stays above it**
+/// for the rest of the series. `None` if it never stabilises.
+pub fn traces_to_disclosure(evolution: &[f64]) -> Option<usize> {
+    let mut candidate: Option<usize> = None;
+    for (i, &r) in evolution.iter().enumerate() {
+        let d = (i + 1) as u64;
+        if r.abs() > threshold_9999(d) {
+            candidate.get_or_insert(i + 1);
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_shrinks_with_traces() {
+        assert_eq!(threshold_9999(2), 1.0);
+        let t100 = threshold_9999(100);
+        let t10k = threshold_9999(10_000);
+        assert!(t100 > t10k);
+        // Spot value: tanh(3.8906/sqrt(9997)) ≈ 0.0389.
+        assert!((t10k - 0.0389).abs() < 0.0005, "t10k={t10k}");
+    }
+
+    #[test]
+    fn disclosure_point_requires_stability() {
+        // Crosses at 100 traces, dips at 150, re-crosses at 200.
+        let mut evo = vec![0.0; 99];
+        evo.extend(vec![0.9; 50]); // 100..=149
+        evo.push(0.0001); // 150: dip
+        evo.extend(vec![0.9; 100]); // 151..
+        assert_eq!(traces_to_disclosure(&evo), Some(151));
+    }
+
+    #[test]
+    fn no_disclosure_when_noise() {
+        let evo = vec![0.001; 500];
+        assert_eq!(traces_to_disclosure(&evo), None);
+    }
+
+    #[test]
+    fn immediate_strong_leak() {
+        let evo = vec![0.95; 100];
+        // tanh(3.8906/sqrt(d-3)) falls below 0.95 from d = 8 onward.
+        assert_eq!(traces_to_disclosure(&evo), Some(8));
+        assert!(threshold_9999(7) > 0.95 && threshold_9999(8) < 0.95);
+    }
+}

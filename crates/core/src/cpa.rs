@@ -1,0 +1,236 @@
+//! Correlation power/EM analysis primitives.
+//!
+//! The paper's distinguisher is the Pearson correlation between
+//! Hamming-weight hypotheses and trace samples (its Equation 1). This
+//! module provides the plain estimator, a guesses×samples accumulation
+//! matrix for correlation-versus-time plots, and prefix series for
+//! correlation-versus-trace-count evolution plots.
+
+/// Pearson correlation coefficient between a hypothesis vector and the
+/// samples at one time index (one entry per trace).
+///
+/// Returns 0 when either side is constant (no information).
+pub fn pearson(hyps: &[f64], samples: &[f32]) -> f64 {
+    assert_eq!(hyps.len(), samples.len());
+    let d = hyps.len() as f64;
+    if hyps.is_empty() {
+        return 0.0;
+    }
+    let (mut sh, mut sh2, mut st, mut st2, mut sht) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for (&h, &t) in hyps.iter().zip(samples) {
+        let t = t as f64;
+        sh += h;
+        sh2 += h * h;
+        st += t;
+        st2 += t * t;
+        sht += h * t;
+    }
+    let num = d * sht - sh * st;
+    let den = ((d * sh2 - sh * sh) * (d * st2 - st * st)).sqrt();
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Correlation between a hypothesis vector and every prefix of the trace
+/// set: entry `i` is the correlation over the first `i + 1` traces.
+///
+/// This is the estimator behind the paper's Figure 4 (e–h) evolution
+/// plots.
+pub fn pearson_evolution(hyps: &[f64], samples: &[f32]) -> Vec<f64> {
+    assert_eq!(hyps.len(), samples.len());
+    let mut out = Vec::with_capacity(hyps.len());
+    let (mut sh, mut sh2, mut st, mut st2, mut sht) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for (i, (&h, &t)) in hyps.iter().zip(samples).enumerate() {
+        let t = t as f64;
+        sh += h;
+        sh2 += h * h;
+        st += t;
+        st2 += t * t;
+        sht += h * t;
+        let d = (i + 1) as f64;
+        let num = d * sht - sh * st;
+        let den = ((d * sh2 - sh * sh) * (d * st2 - st * st)).sqrt();
+        out.push(if den <= 0.0 { 0.0 } else { num / den });
+    }
+    out
+}
+
+/// Streaming guesses×samples correlation matrix (Welford-style sums), for
+/// correlation-versus-time plots over a window of the trace.
+#[derive(Debug, Clone)]
+pub struct CorrMatrix {
+    guesses: usize,
+    samples: usize,
+    d: u64,
+    sh: Vec<f64>,
+    sh2: Vec<f64>,
+    st: Vec<f64>,
+    st2: Vec<f64>,
+    sht: Vec<f64>,
+}
+
+impl CorrMatrix {
+    /// Creates an empty accumulator for `guesses` hypotheses over
+    /// `samples` time points.
+    pub fn new(guesses: usize, samples: usize) -> CorrMatrix {
+        CorrMatrix {
+            guesses,
+            samples,
+            d: 0,
+            sh: vec![0.0; guesses],
+            sh2: vec![0.0; guesses],
+            st: vec![0.0; samples],
+            st2: vec![0.0; samples],
+            sht: vec![0.0; guesses * samples],
+        }
+    }
+
+    /// Number of traces absorbed so far.
+    pub fn traces(&self) -> u64 {
+        self.d
+    }
+
+    /// Absorbs one trace: `hyps[g]` is each guess's predicted leakage,
+    /// `window` the measured samples.
+    pub fn update(&mut self, hyps: &[f64], window: &[f32]) {
+        assert_eq!(hyps.len(), self.guesses);
+        assert_eq!(window.len(), self.samples);
+        self.d += 1;
+        for (g, &h) in hyps.iter().enumerate() {
+            self.sh[g] += h;
+            self.sh2[g] += h * h;
+            let row = &mut self.sht[g * self.samples..(g + 1) * self.samples];
+            for (r, &t) in row.iter_mut().zip(window) {
+                *r += h * t as f64;
+            }
+        }
+        for (s, &t) in window.iter().enumerate() {
+            let t = t as f64;
+            self.st[s] += t;
+            self.st2[s] += t * t;
+        }
+    }
+
+    /// The correlation of guess `g` at sample `s`.
+    pub fn corr(&self, g: usize, s: usize) -> f64 {
+        let d = self.d as f64;
+        if self.d < 2 {
+            return 0.0;
+        }
+        let num = d * self.sht[g * self.samples + s] - self.sh[g] * self.st[s];
+        let den =
+            ((d * self.sh2[g] - self.sh[g] * self.sh[g]) * (d * self.st2[s] - self.st[s] * self.st[s]))
+                .sqrt();
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// The full correlation trace (all samples) for guess `g`.
+    pub fn corr_row(&self, g: usize) -> Vec<f64> {
+        (0..self.samples).map(|s| self.corr(g, s)).collect()
+    }
+
+    /// `(sample, |corr|)` of the leakiest time point for guess `g`.
+    pub fn peak(&self, g: usize) -> (usize, f64) {
+        let mut best = (0usize, 0f64);
+        for s in 0..self.samples {
+            let c = self.corr(g, s).abs();
+            if c > best.1 {
+                best = (s, c);
+            }
+        }
+        best
+    }
+
+    /// Guesses ranked by descending peak absolute correlation:
+    /// `(guess index, best sample, correlation at that sample)`.
+    pub fn ranking(&self) -> Vec<(usize, usize, f64)> {
+        let mut v: Vec<(usize, usize, f64)> = (0..self.guesses)
+            .map(|g| {
+                let (s, _) = self.peak(g);
+                (g, s, self.corr(g, s))
+            })
+            .collect();
+        v.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap_or(core::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let h: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t: Vec<f32> = (0..100).map(|i| 3.0 * i as f32 + 1.0).collect();
+        assert!((pearson(&h, &t) - 1.0).abs() < 1e-12);
+        let tn: Vec<f32> = t.iter().map(|v| -v).collect();
+        assert!((pearson(&h, &tn) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_data_has_low_correlation() {
+        // Deterministic pseudo-random pairing.
+        let h: Vec<f64> = (0..5000).map(|i| ((i * 2654435761u64) % 97) as f64).collect();
+        let t: Vec<f32> = (0..5000).map(|i| ((i * 40503u64 + 7) % 89) as f32).collect();
+        assert!(pearson(&h, &t).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_inputs_give_zero() {
+        assert_eq!(pearson(&[1.0; 10], &[2.0; 10]), 0.0);
+        let h: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&h, &[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn evolution_converges_to_full_correlation() {
+        let h: Vec<f64> = (0..400).map(|i| ((i * 31) % 17) as f64).collect();
+        let t: Vec<f32> = h.iter().map(|&v| (2.0 * v) as f32).collect();
+        let evo = pearson_evolution(&h, &t);
+        assert_eq!(evo.len(), 400);
+        assert!((evo.last().unwrap() - pearson(&h, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_matches_direct_pearson() {
+        let traces: Vec<Vec<f32>> = (0..50)
+            .map(|d| (0..4).map(|s| ((d * 7 + s * 13) % 23) as f32).collect())
+            .collect();
+        let hyps: Vec<Vec<f64>> = (0..50)
+            .map(|d| (0..3).map(|g| ((d * (g + 2) + 1) % 19) as f64).collect())
+            .collect();
+        let mut m = CorrMatrix::new(3, 4);
+        for (h, t) in hyps.iter().zip(&traces) {
+            m.update(h, t);
+        }
+        for g in 0..3 {
+            for s in 0..4 {
+                let hv: Vec<f64> = hyps.iter().map(|h| h[g]).collect();
+                let tv: Vec<f32> = traces.iter().map(|t| t[s]).collect();
+                assert!((m.corr(g, s) - pearson(&hv, &tv)).abs() < 1e-10, "g={g} s={s}");
+            }
+        }
+        assert_eq!(m.traces(), 50);
+    }
+
+    #[test]
+    fn ranking_orders_by_peak() {
+        let mut m = CorrMatrix::new(2, 1);
+        for d in 0..100 {
+            let x = (d % 10) as f64;
+            // guess 0 correlates strongly, guess 1 weakly.
+            m.update(&[x, (d % 3) as f64], &[(x * 2.0) as f32]);
+        }
+        let r = m.ranking();
+        assert_eq!(r[0].0, 0);
+        assert!(r[0].2.abs() > r[1].2.abs());
+    }
+}

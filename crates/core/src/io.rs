@@ -1,0 +1,178 @@
+//! Dataset persistence.
+//!
+//! Real side-channel campaigns acquire once and analyse many times; this
+//! module stores a [`Dataset`] in a compact self-describing binary format
+//! (magic, version, dimensions, then raw little-endian payloads) so
+//! acquisitions can be replayed, shared, and attacked offline.
+
+use crate::acquire::Dataset;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FDNDSET\x01";
+
+/// Serialises a dataset.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer. The format is
+/// platform-independent (fixed-width little-endian fields).
+pub fn write_dataset<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(ds.n() as u64).to_le_bytes())?;
+    w.write_all(&(ds.targets().len() as u64).to_le_bytes())?;
+    w.write_all(&(ds.traces() as u64).to_le_bytes())?;
+    for &t in ds.targets() {
+        w.write_all(&(t as u64).to_le_bytes())?;
+    }
+    for trace in 0..ds.traces() {
+        for &t in ds.targets() {
+            for occ in 0..2 {
+                w.write_all(&ds.known(trace, t, occ).to_le_bytes())?;
+            }
+        }
+    }
+    for trace in 0..ds.traces() {
+        for &t in ds.targets() {
+            for v in ds.window(trace, t) {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Deserialises a dataset written by [`write_dataset`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version, inconsistent
+/// dimensions, or truncation.
+pub fn read_dataset<R: Read>(mut r: R) -> io::Result<Dataset> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a falcon-down dataset (bad magic)"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    if !n.is_power_of_two() || !(2..=1 << 10).contains(&n) {
+        return Err(bad("invalid ring degree"));
+    }
+    let n_targets = read_u64(&mut r)? as usize;
+    let traces = read_u64(&mut r)? as usize;
+    if n_targets == 0 || n_targets > n || traces > 1 << 28 {
+        return Err(bad("implausible dimensions"));
+    }
+    let mut targets = Vec::with_capacity(n_targets);
+    for _ in 0..n_targets {
+        let t = read_u64(&mut r)? as usize;
+        if t >= n {
+            return Err(bad("target index out of range"));
+        }
+        targets.push(t);
+    }
+    let mut knowns = Vec::with_capacity(traces * n_targets * 2);
+    for _ in 0..traces * n_targets * 2 {
+        knowns.push(read_u64(&mut r)?);
+    }
+    let points_len = traces * n_targets * crate::acquire::POINTS_PER_TARGET;
+    let mut points = Vec::with_capacity(points_len);
+    let mut buf = [0u8; 4];
+    for _ in 0..points_len {
+        r.read_exact(&mut buf)?;
+        points.push(f32::from_le_bytes(buf));
+    }
+    Ok(Dataset::from_raw_parts(n, targets, traces, knowns, points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope, StepKind};
+    use falcon_sig::rng::Prng;
+    use falcon_sig::{KeyPair, LogN};
+
+    fn sample_dataset() -> Dataset {
+        let mut rng = Prng::from_seed(b"io test key");
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, 1.0),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+        };
+        let mut dev = Device::new(kp.into_parts().0, chain, b"io bench");
+        let mut msgs = Prng::from_seed(b"io msgs");
+        Dataset::collect(&mut dev, &[0, 2, 5], 12, &mut msgs)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.n(), ds.n());
+        assert_eq!(back.targets(), ds.targets());
+        assert_eq!(back.traces(), ds.traces());
+        for trace in 0..ds.traces() {
+            for &t in ds.targets() {
+                for occ in 0..2 {
+                    assert_eq!(back.known(trace, t, occ), ds.known(trace, t, occ));
+                    for step in StepKind::ALL {
+                        assert_eq!(
+                            back.sample(trace, t, occ, step),
+                            ds.sample(trace, t, occ, step)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad_magic = buf.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(read_dataset(&bad_magic[..]).is_err());
+        // Truncation.
+        assert!(read_dataset(&buf[..buf.len() - 5]).is_err());
+        // Absurd degree.
+        let mut bad_n = buf.clone();
+        bad_n[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_dataset(&bad_n[..]).is_err());
+    }
+
+    #[test]
+    fn attack_works_on_reloaded_dataset() {
+        use crate::attack::{recover_coefficient, AttackConfig};
+        let mut rng = Prng::from_seed(b"io attack key");
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let truth = kp.signing_key().f_fft()[0].to_bits();
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, 0.5),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+        };
+        let mut dev = Device::new(kp.into_parts().0, chain, b"io attack");
+        let mut msgs = Prng::from_seed(b"io attack msgs");
+        let ds = Dataset::collect(&mut dev, &[0], 200, &mut msgs);
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        let r = recover_coefficient(&back, 0, &AttackConfig::default());
+        assert_eq!(r.bits, truth);
+    }
+}

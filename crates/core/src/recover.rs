@@ -1,0 +1,133 @@
+//! From recovered `FFT(f)` bits to full key recovery and forgery.
+//!
+//! FALCON's FFT is one-to-one and the attack recovers every bit of the
+//! transform, so `f` follows from the inverse FFT (§III.A). The companion
+//! polynomial is `g = h·f mod q` (since `h = g·f⁻¹`), and `(F, G)` come
+//! from re-solving the NTRU equation — at which point the adversary owns
+//! a signing key functionally identical to the victim's and can sign
+//! arbitrary messages.
+
+use falcon_fpr::Fpr;
+use falcon_sig::fft::ifft;
+use falcon_sig::keygen::{ntru_equation_holds, ntru_solve};
+use falcon_sig::ntt::NttTables;
+use falcon_sig::poly::mul_mod_q_centered;
+use falcon_sig::zint::Zint;
+use falcon_sig::{SigningKey, VerifyingKey};
+
+/// Maximum plausible magnitude for private polynomial coefficients; used
+/// to detect failed recoveries (`f`/`g` coefficients are Gaussian with
+/// σ ≈ 4.05 at n = 512 and bounded by 127 in the reference encoding,
+/// while garbage decodes look uniform modulo q).
+const COEFF_LIMIT: i64 = 1024;
+
+/// Inverts the recovered `FFT(f)` bit patterns back to the integer
+/// polynomial `f`.
+///
+/// Returns `None` when the inverse transform does not land on small
+/// integers — the tell-tale of an incorrect extraction.
+pub fn invert_fft_f(bits: &[u64]) -> Option<Vec<i16>> {
+    let mut v: Vec<Fpr> = bits.iter().map(|&b| Fpr::from_bits(b)).collect();
+    ifft(&mut v);
+    let mut out = Vec::with_capacity(v.len());
+    for x in v {
+        let val = x.to_f64();
+        let r = val.round();
+        if (val - r).abs() > 1e-6 || r.abs() > COEFF_LIMIT as f64 {
+            return None;
+        }
+        out.push(r as i16);
+    }
+    Some(out)
+}
+
+/// A fully recovered private key.
+#[derive(Debug, Clone)]
+pub struct RecoveredKey {
+    /// The reconstructed signing key (usable for forgery).
+    pub sk: SigningKey,
+}
+
+/// Completes key recovery from the extracted `f` and the victim's public
+/// key: `g = h·f mod q`, then `(F, G)` by solving the NTRU equation.
+///
+/// Returns `None` when `f` is inconsistent with `h` (recovery failed) or
+/// the NTRU solve does not complete.
+pub fn recover_private_key(f: &[i16], vk: &VerifyingKey) -> Option<RecoveredKey> {
+    let logn = vk.logn();
+    if f.len() != logn.n() {
+        return None;
+    }
+    let tables = NttTables::new(logn.logn());
+    let g = mul_mod_q_centered(f, vk.h(), &tables);
+    if g.iter().any(|&c| (c as i64).abs() > COEFF_LIMIT) {
+        return None;
+    }
+    let to_z = |v: &[i16]| -> Vec<Zint> { v.iter().map(|&c| Zint::from_i64(c as i64)).collect() };
+    let (capf_z, capg_z) = ntru_solve(&to_z(f), &to_z(&g))?;
+    let cap = |p: &[Zint]| -> Option<Vec<i16>> {
+        p.iter().map(|c| c.to_i64().and_then(|v| i16::try_from(v).ok())).collect()
+    };
+    let capf = cap(&capf_z)?;
+    let capg = cap(&capg_z)?;
+    if !ntru_equation_holds(f, &g, &capf, &capg) {
+        return None;
+    }
+    let sk = SigningKey::from_private(logn, f, &g, &capf, &capg, vk.h().to_vec());
+    Some(RecoveredKey { sk })
+}
+
+/// End-to-end convenience: recovered `FFT(f)` bits → forged signing key.
+pub fn key_from_fft_bits(bits: &[u64], vk: &VerifyingKey) -> Option<RecoveredKey> {
+    let f = invert_fft_f(bits)?;
+    recover_private_key(&f, vk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_sig::rng::Prng;
+    use falcon_sig::{KeyPair, LogN};
+
+    #[test]
+    fn fft_bits_roundtrip_to_f() {
+        let mut rng = Prng::from_seed(b"recover roundtrip");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let bits: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+        let f = invert_fft_f(&bits).expect("exact bits invert cleanly");
+        assert_eq!(f, kp.signing_key().f());
+    }
+
+    #[test]
+    fn corrupted_bits_detected() {
+        let mut rng = Prng::from_seed(b"recover corrupt");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let mut bits: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+        bits[2] ^= 1 << 40; // flip a mantissa bit
+        assert!(invert_fft_f(&bits).is_none());
+    }
+
+    #[test]
+    fn full_recovery_and_forgery() {
+        let mut rng = Prng::from_seed(b"recover forge");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let bits: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+        let rec = key_from_fft_bits(&bits, kp.verifying_key()).expect("key recovery");
+        // The recovered key must reproduce the private polynomials
+        // (F, G are canonical up to the reduction, so check by equation
+        // and by forging).
+        assert_eq!(rec.sk.f(), kp.signing_key().f());
+        assert_eq!(rec.sk.g(), kp.signing_key().g());
+        let forged = rec.sk.sign(b"arbitrary attacker message", &mut rng);
+        assert!(kp.verifying_key().verify(b"arbitrary attacker message", &forged));
+    }
+
+    #[test]
+    fn wrong_f_rejected_via_h() {
+        let mut rng = Prng::from_seed(b"recover wrong f");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let mut f = kp.signing_key().f().to_vec();
+        f[0] += 1; // near miss
+        assert!(recover_private_key(&f, kp.verifying_key()).is_none());
+    }
+}

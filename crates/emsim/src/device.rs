@@ -1,0 +1,347 @@
+//! The victim device: FALCON signing under EM observation.
+
+use crate::leakage::GaussianNoise;
+use crate::probe::MeasurementChain;
+use crate::trace::{Capture, MulOpLayout, Trace};
+use falcon_fpr::{Fpr, MulObserver, MulStep};
+use falcon_sig::fft::{at, fft, set};
+use falcon_sig::hash::hash_to_point;
+use falcon_sig::params::SALT_LEN;
+use falcon_sig::rng::Prng;
+use falcon_sig::{Signature, SigningKey};
+
+/// Side-channel countermeasures the device may enable (paper §V.B).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CountermeasureConfig {
+    /// Shuffle the processing order of the complex coefficients each
+    /// execution (temporal desynchronisation of the leakage).
+    pub shuffle: bool,
+    /// Additional hiding noise (added in quadrature to the channel's
+    /// noise floor), e.g. from a noise generator peripheral.
+    pub extra_noise_sigma: f64,
+    /// First-order additive masking of the attacked multiplication: each
+    /// execution splits `FFT(f)` into two fresh random shares
+    /// (`f̂ = s1 + s2`), multiplies `FFT(c)` with each share separately
+    /// and recombines. No intermediate then depends on the unshared
+    /// secret. This prototypes the masked implementation the paper notes
+    /// did not yet exist for FALCON; floating-point share recombination
+    /// rounds, so the signer's `t1` acquires a few-ulp perturbation —
+    /// harmless, since the signature's norm bound is enforced downstream.
+    pub masking: bool,
+}
+
+/// An observer that converts every multiplication micro-op into a leakage
+/// sample.
+struct LeakingObserver<'a> {
+    model: crate::leakage::LeakageModel,
+    noise: &'a mut GaussianNoise,
+    prev: u64,
+    samples: Vec<f32>,
+}
+
+impl MulObserver for LeakingObserver<'_> {
+    fn record(&mut self, step: MulStep) {
+        let w = step.data_word();
+        let v = self.model.sample(w, self.prev, self.noise);
+        self.prev = w;
+        self.samples.push(v as f32);
+    }
+}
+
+/// One complex multiplication under observation (masked capture path).
+fn observed_cplx_mul(
+    x: falcon_sig::fft::Cplx,
+    y: falcon_sig::fft::Cplx,
+    obs: &mut LeakingObserver<'_>,
+) -> falcon_sig::fft::Cplx {
+    let m0 = x.re.mul_observed(y.re, obs);
+    let m1 = x.im.mul_observed(y.im, obs);
+    let m2 = x.re.mul_observed(y.im, obs);
+    let m3 = x.im.mul_observed(y.re, obs);
+    falcon_sig::fft::Cplx::new(m0 - m1, m2 + m3)
+}
+
+/// The device under attack: a FALCON signer whose `FFT(c) ⊙ FFT(f)`
+/// computation radiates per the configured [`MeasurementChain`].
+#[derive(Debug)]
+pub struct Device {
+    sk: SigningKey,
+    chain: MeasurementChain,
+    cm: CountermeasureConfig,
+    rng: Prng,
+    noise: GaussianNoise,
+}
+
+impl Device {
+    /// Places a signing key on the bench.
+    pub fn new(sk: SigningKey, chain: MeasurementChain, seed: &[u8]) -> Device {
+        let mut s = Vec::from(seed);
+        s.extend_from_slice(b"/device");
+        let mut n = Vec::from(seed);
+        n.extend_from_slice(b"/noise");
+        Device {
+            sk,
+            chain,
+            cm: CountermeasureConfig::default(),
+            rng: Prng::from_seed(&s),
+            noise: GaussianNoise::from_seed(&n),
+        }
+    }
+
+    /// Enables countermeasures.
+    pub fn with_countermeasures(mut self, cm: CountermeasureConfig) -> Device {
+        self.cm = cm;
+        self
+    }
+
+    /// The signing key (ground truth for experiments).
+    pub fn signing_key(&self) -> &SigningKey {
+        &self.sk
+    }
+
+    /// The measurement chain in use.
+    pub fn chain(&self) -> &MeasurementChain {
+        &self.chain
+    }
+
+    /// Sample layout of captured traces (valid when shuffling is off).
+    pub fn layout(&self) -> MulOpLayout {
+        MulOpLayout::new(self.sk.logn().n())
+    }
+
+    /// Acquires one trace of the attacked region for a signature on
+    /// `msg`: the device draws a fresh salt, hashes, transforms, and the
+    /// probe records the pointwise `FFT(c) ⊙ FFT(f)` multiplications.
+    ///
+    /// This is the acquisition fast path: it executes exactly the signing
+    /// steps up to and including the attacked multiplication (the
+    /// remainder of Algorithm 2 does not touch the targeted
+    /// intermediates).
+    pub fn capture(&mut self, msg: &[u8]) -> Capture {
+        let mut salt = [0u8; SALT_LEN];
+        self.rng.fill(&mut salt);
+        let trace = self.capture_with_salt(&salt, msg);
+        Capture { salt, msg: msg.to_vec(), trace }
+    }
+
+    /// Acquisition with a caller-chosen salt (tests and replays).
+    pub fn capture_with_salt(&mut self, salt: &[u8; SALT_LEN], msg: &[u8]) -> Trace {
+        let n = self.sk.logn().n();
+        let c = hash_to_point(salt, msg, n);
+        let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
+        fft(&mut c_fft);
+        self.leak_pointwise_mul(&c_fft)
+    }
+
+    /// Runs the complete signing operation under observation and returns
+    /// both the signature and the captured trace of the (final,
+    /// successful) attempt's multiplication region.
+    pub fn sign_and_capture(&mut self, msg: &[u8]) -> (Signature, Capture) {
+        loop {
+            let mut salt = [0u8; SALT_LEN];
+            self.rng.fill(&mut salt);
+            let model = self.effective_model();
+            let mut obs = LeakingObserver {
+                model,
+                noise: &mut self.noise,
+                prev: 0,
+                samples: Vec::new(),
+            };
+            // Note: with shuffling enabled the *signature* path still
+            // processes coefficients in order (the countermeasure applies
+            // to the device's pointwise loop, modelled in capture()).
+            if let Some(sig) =
+                falcon_sig::sign::sign_with_salt(&self.sk, msg, salt, &mut self.rng, &mut obs)
+            {
+                let mut samples = obs.samples;
+                self.chain.condition(&mut samples);
+                let capture = Capture { salt, msg: msg.to_vec(), trace: Trace::new(samples) };
+                return (sig, capture);
+            }
+        }
+    }
+
+    fn effective_model(&self) -> crate::leakage::LeakageModel {
+        let mut m = self.chain.model;
+        let extra = self.cm.extra_noise_sigma;
+        m.noise_sigma = (m.noise_sigma * m.noise_sigma + extra * extra).sqrt();
+        m
+    }
+
+    /// The device's pointwise multiplication loop, radiating through the
+    /// probe; honours the shuffling countermeasure.
+    fn leak_pointwise_mul(&mut self, c_fft: &[Fpr]) -> Trace {
+        let n = c_fft.len();
+        let hn = n / 2;
+        let model = self.effective_model();
+        // Temporarily take the noise source so the observer does not pin
+        // a borrow of `self` (the masked path draws shares from the
+        // device PRNG mid-loop).
+        let mut noise = std::mem::replace(&mut self.noise, GaussianNoise::from_seed(b"swap"));
+        let mut obs = LeakingObserver { model, noise: &mut noise, prev: 0, samples: Vec::new() };
+
+        let mut order: Vec<usize> = (0..hn).collect();
+        if self.cm.shuffle {
+            // Fisher–Yates with the device's PRNG.
+            for i in (1..hn).rev() {
+                let j = self.rng.below((i + 1) as u64) as usize;
+                order.swap(i, j);
+            }
+        }
+
+        // Same arithmetic as falcon_sig::fft::poly_mul_fft_observed, with
+        // a device-chosen coefficient order; results are discarded (the
+        // probe only cares about the emissions).
+        let f_fft = self.sk.f_fft().to_vec();
+        let masking = self.cm.masking;
+        let mut out = vec![Fpr::ZERO; n];
+        for &j in &order {
+            let x = at(&f_fft, j);
+            let y = at(c_fft, j);
+            if masking {
+                // Fresh additive shares per execution: x = s1 + s2 with
+                // s1 uniform over the value range of FFT(f) coefficients.
+                let s1 = falcon_sig::fft::Cplx::new(self.random_share(), self.random_share());
+                let s2 = x.sub(s1);
+                let a = observed_cplx_mul(s1, y, &mut obs);
+                let b = observed_cplx_mul(s2, y, &mut obs);
+                set(&mut out, j, a.add(b));
+            } else {
+                let m0 = x.re.mul_observed(y.re, &mut obs);
+                let m1 = x.im.mul_observed(y.im, &mut obs);
+                let m2 = x.re.mul_observed(y.im, &mut obs);
+                let m3 = x.im.mul_observed(y.re, &mut obs);
+                set(&mut out, j, falcon_sig::fft::Cplx::new(m0 - m1, m2 + m3));
+            }
+        }
+
+        let mut samples = std::mem::take(&mut obs.samples);
+        drop(obs);
+        self.noise = noise;
+        self.chain.condition(&mut samples);
+        Trace::new(samples)
+    }
+
+    /// A uniform random mask value spanning the magnitude range of
+    /// `FFT(f)` coefficients (|f_i| ≤ 2^max_fg_bits, n-fold FFT gain).
+    fn random_share(&mut self) -> Fpr {
+        let n = self.sk.logn().n() as f64;
+        let scale = 256.0 * n;
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        Fpr::from((2.0 * u - 1.0) * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leakage::LeakageModel;
+    use falcon_sig::{KeyPair, LogN};
+
+    fn bench_device(noise: f64) -> Device {
+        let mut rng = Prng::from_seed(b"device test key");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, noise),
+            lowpass: 0.0,
+            scope: crate::probe::Scope { enabled: false, ..Default::default() },
+        };
+        Device::new(kp.into_parts().0, chain, b"bench seed")
+    }
+
+    #[test]
+    fn capture_has_expected_layout() {
+        let mut d = bench_device(0.0);
+        let cap = d.capture(b"message");
+        assert_eq!(cap.trace.len(), d.layout().samples_per_trace());
+    }
+
+    #[test]
+    fn noiseless_trace_is_hamming_weights() {
+        let mut d = bench_device(0.0);
+        let cap = d.capture(b"hw check");
+        // Recompute expected emissions from ground truth.
+        let n = d.signing_key().logn().n();
+        let c = hash_to_point(&cap.salt, &cap.msg, n);
+        let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
+        fft(&mut c_fft);
+        let layout = d.layout();
+        // Check the first coefficient's first multiplication OperandLoad.
+        let x = at(d.signing_key().f_fft(), 0);
+        let y = at(&c_fft, 0);
+        let mut rec = falcon_fpr::RecordingObserver::new();
+        let _ = x.re.mul_observed(y.re, &mut rec);
+        let idx = layout.sample_index(0, crate::trace::StepKind::OperandLoad);
+        let want = rec.steps[0].data_word().count_ones() as f32;
+        assert_eq!(cap.trace.samples[idx], want);
+    }
+
+    #[test]
+    fn deterministic_replay_with_salt() {
+        let mut d1 = bench_device(3.0);
+        let mut d2 = bench_device(3.0);
+        let t1 = d1.capture_with_salt(&[9u8; SALT_LEN], b"m");
+        let t2 = d2.capture_with_salt(&[9u8; SALT_LEN], b"m");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn shuffle_changes_sample_order_but_not_values() {
+        let mut plain = bench_device(0.0);
+        let mut shuffled = bench_device(0.0)
+            .with_countermeasures(CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false });
+        let a = plain.capture_with_salt(&[5u8; SALT_LEN], b"m");
+        let b = shuffled.capture_with_salt(&[5u8; SALT_LEN], b"m");
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a.samples, b.samples, "shuffling should reorder emissions");
+        let mut sa = a.samples.clone();
+        let mut sb = b.samples.clone();
+        sa.sort_by(f32::total_cmp);
+        sb.sort_by(f32::total_cmp);
+        // Same multiset of per-mul emissions (noise off, prev-word chain
+        // differs only via the HD term which is disabled here).
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn masked_capture_doubles_trace_and_randomises_emissions() {
+        let cm = CountermeasureConfig { masking: true, ..Default::default() };
+        let mut masked = bench_device(0.0).with_countermeasures(cm);
+        let unmasked_len = masked.layout().samples_per_trace();
+        let a = masked.capture_with_salt(&[7u8; SALT_LEN], b"m");
+        assert_eq!(a.len(), 2 * unmasked_len, "two share multiplications per coefficient");
+        // Fresh shares per execution: identical (salt, msg) yields
+        // different emissions even with zero channel noise.
+        let b = masked.capture_with_salt(&[7u8; SALT_LEN], b"m");
+        assert_ne!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn masked_signer_still_produces_valid_signatures() {
+        // Masking only affects the capture path's t1 computation model;
+        // the signature path remains correct end to end (the emulated
+        // masked signer's few-ulp perturbation is absorbed by the norm
+        // check). Here we exercise capture + ordinary signing together.
+        let mut rng = Prng::from_seed(b"masked signer");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let vk = kp.verifying_key().clone();
+        let cm = CountermeasureConfig { masking: true, ..Default::default() };
+        let mut d = Device::new(kp.into_parts().0, MeasurementChain::default(), b"ms")
+            .with_countermeasures(cm);
+        let _ = d.capture(b"warm up the masked path");
+        let (sig, _) = d.sign_and_capture(b"masked message");
+        assert!(vk.verify(b"masked message", &sig));
+    }
+
+    #[test]
+    fn sign_and_capture_verifies() {
+        let mut rng = Prng::from_seed(b"sac key");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let vk = kp.verifying_key().clone();
+        let chain = MeasurementChain::default();
+        let mut d = Device::new(kp.into_parts().0, chain, b"sac");
+        let (sig, cap) = d.sign_and_capture(b"signed under observation");
+        assert!(vk.verify(b"signed under observation", &sig));
+        assert_eq!(cap.trace.len(), d.layout().samples_per_trace());
+    }
+}

@@ -1,0 +1,107 @@
+//! NTT-based reference point for the paper's §V.C discussion.
+//!
+//! The paper contrasts FALCON's floating-point FFT against the integer
+//! NTT used by other lattice schemes: the NTT's modular arithmetic leaks
+//! far more exploitable structure per trace. This module models a device
+//! performing the same known×secret pointwise multiplication, but over
+//! `Z_q` after an NTT — one leakage sample per modular product — so the
+//! benchmark harness can run the identical distinguisher on both and
+//! compare traces-to-disclosure.
+
+use crate::leakage::{GaussianNoise, LeakageModel};
+use crate::trace::{Capture, Trace};
+use falcon_sig::hash::hash_to_point;
+use falcon_sig::ntt::{mq_from_signed, mq_mul, NttTables};
+use falcon_sig::params::SALT_LEN;
+use falcon_sig::rng::Prng;
+
+/// A simulated device computing `NTT(c) ⊙ NTT(f)` over `Z_q`.
+#[derive(Debug)]
+pub struct NttDevice {
+    f_ntt: Vec<u32>,
+    tables: NttTables,
+    model: LeakageModel,
+    rng: Prng,
+    noise: GaussianNoise,
+}
+
+impl NttDevice {
+    /// Builds the device from the secret polynomial `f` (signed
+    /// coefficients).
+    pub fn new(f: &[i16], logn: u32, model: LeakageModel, seed: &[u8]) -> NttDevice {
+        let tables = NttTables::new(logn);
+        let mut f_ntt: Vec<u32> = f.iter().map(|&v| mq_from_signed(v as i32)).collect();
+        tables.ntt(&mut f_ntt);
+        let mut s = Vec::from(seed);
+        s.extend_from_slice(b"/ntt-device");
+        let mut ns = Vec::from(seed);
+        ns.extend_from_slice(b"/ntt-noise");
+        NttDevice {
+            f_ntt,
+            tables,
+            model,
+            rng: Prng::from_seed(&s),
+            noise: GaussianNoise::from_seed(&ns),
+        }
+    }
+
+    /// Ground-truth NTT-domain secret (for experiment scoring).
+    pub fn f_ntt(&self) -> &[u32] {
+        &self.f_ntt
+    }
+
+    /// Captures one trace: one sample per coefficient-wise modular
+    /// multiplication `c_ntt[i]·f_ntt[i] mod q`.
+    #[allow(clippy::needless_range_loop)] // i is the coefficient position in the trace
+    pub fn capture(&mut self, msg: &[u8]) -> Capture {
+        let mut salt = [0u8; SALT_LEN];
+        self.rng.fill(&mut salt);
+        let n = self.f_ntt.len();
+        let c = hash_to_point(&salt, msg, n);
+        let mut c_ntt: Vec<u32> = c.iter().map(|&v| v as u32).collect();
+        self.tables.ntt(&mut c_ntt);
+        let mut samples = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let prod = mq_mul(c_ntt[i], self.f_ntt[i]) as u64;
+            samples.push(self.model.sample(prod, prev, &mut self.noise) as f32);
+            prev = prod;
+        }
+        Capture { salt, msg: msg.to_vec(), trace: Trace::new(samples) }
+    }
+
+    /// Recomputes the known NTT-domain hash for a capture (adversary
+    /// side).
+    pub fn known_c_ntt(&self, capture: &Capture) -> Vec<u32> {
+        let n = self.f_ntt.len();
+        let c = hash_to_point(&capture.salt, &capture.msg, n);
+        let mut c_ntt: Vec<u32> = c.iter().map(|&v| v as u32).collect();
+        self.tables.ntt(&mut c_ntt);
+        c_ntt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn trace_matches_ground_truth_when_noiseless() {
+        let f: Vec<i16> = (0..16).map(|i| (i * 3 - 20) as i16).collect();
+        let mut d = NttDevice::new(&f, 4, LeakageModel::hamming_weight(1.0, 0.0), b"t");
+        let cap = d.capture(b"m");
+        let c_ntt = d.known_c_ntt(&cap);
+        for i in 0..16 {
+            let want = mq_mul(c_ntt[i], d.f_ntt()[i]).count_ones() as f32;
+            assert_eq!(cap.trace.samples[i], want);
+        }
+    }
+
+    #[test]
+    fn capture_length_is_n() {
+        let f = vec![1i16; 32];
+        let mut d = NttDevice::new(&f, 5, LeakageModel::default(), b"len");
+        assert_eq!(d.capture(b"x").trace.len(), 32);
+    }
+}

@@ -1,0 +1,105 @@
+//! The acquisition chain: probe bandwidth and oscilloscope quantisation.
+
+/// Oscilloscope front-end (the paper uses a PicoScope 3206D, an 8-bit
+/// scope, at 500 MS/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scope {
+    /// ADC resolution in bits.
+    pub bits: u32,
+    /// Full-scale range: inputs are clipped to `[-full_scale, full_scale]`.
+    pub full_scale: f64,
+    /// Disable to record ideal (unquantised) samples.
+    pub enabled: bool,
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        // Full scale sized for the default leakage model: 64-bit words
+        // have HW ≤ 64, plus several noise sigmas of headroom.
+        Scope { bits: 8, full_scale: 100.0, enabled: true }
+    }
+}
+
+impl Scope {
+    /// Digitises one sample.
+    pub fn quantize(&self, v: f64) -> f32 {
+        if !self.enabled {
+            return v as f32;
+        }
+        let clipped = v.clamp(-self.full_scale, self.full_scale);
+        let levels = (1u32 << self.bits) as f64;
+        let step = 2.0 * self.full_scale / levels;
+        ((clipped / step).round() * step) as f32
+    }
+}
+
+/// The full measurement chain from die activity to stored samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeasurementChain {
+    /// Emission model.
+    pub model: crate::leakage::LeakageModel,
+    /// Single-pole low-pass coefficient in `[0, 1)`; 0 disables the
+    /// filter (ideal wideband probe). `y[t] = (1-a)·x[t] + a·y[t-1]`.
+    pub lowpass: f64,
+    /// Digitiser.
+    pub scope: Scope,
+}
+
+impl MeasurementChain {
+    /// Applies probe filtering and quantisation to a raw emission series
+    /// in place.
+    pub fn condition(&self, raw: &mut [f32]) {
+        if self.lowpass > 0.0 {
+            let a = self.lowpass;
+            let mut y = 0f64;
+            for v in raw.iter_mut() {
+                y = (1.0 - a) * (*v as f64) + a * y;
+                *v = y as f32;
+            }
+        }
+        if self.scope.enabled {
+            for v in raw.iter_mut() {
+                *v = self.scope.quantize(*v as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_grid() {
+        let s = Scope { bits: 8, full_scale: 128.0, enabled: true };
+        let step = 1.0f32; // 256 levels over 256 units
+        for v in [-200.0, -128.0, -0.3, 0.0, 0.49, 0.51, 127.2, 300.0] {
+            let q = s.quantize(v);
+            assert!(q.abs() <= 128.0);
+            assert!((q / step).fract() == 0.0, "v={v} q={q}");
+        }
+        // Clipping.
+        assert_eq!(s.quantize(1e9), 128.0);
+        assert_eq!(s.quantize(-1e9), -128.0);
+    }
+
+    #[test]
+    fn disabled_scope_passthrough() {
+        let s = Scope { enabled: false, ..Scope::default() };
+        assert_eq!(s.quantize(2.71828), 2.71828f32);
+    }
+
+    #[test]
+    fn lowpass_smears() {
+        let chain = MeasurementChain {
+            lowpass: 0.5,
+            scope: Scope { enabled: false, ..Scope::default() },
+            ..Default::default()
+        };
+        let mut v = vec![1.0f32, 0.0, 0.0, 0.0];
+        chain.condition(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!(v[1] > 0.0 && v[1] < v[0]);
+        assert!(v[2] > 0.0 && v[2] < v[1]);
+    }
+}

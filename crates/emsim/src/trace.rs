@@ -1,0 +1,201 @@
+//! Captured traces and the sample layout of the attacked region.
+
+use falcon_sig::params::SALT_LEN;
+
+/// One recorded EM trace (conditioned, digitised samples).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Trace {
+    /// Samples in acquisition order.
+    pub samples: Vec<f32>,
+}
+
+impl Trace {
+    /// Creates a trace from raw samples.
+    pub fn new(samples: Vec<f32>) -> Trace {
+        Trace { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// One acquisition: the public inputs the adversary knows (salt and
+/// message, from which `FFT(c)` is recomputed) and the measured trace.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// The signature salt `r` (public, part of the signature).
+    pub salt: [u8; SALT_LEN],
+    /// The signed message (known-plaintext setting).
+    pub msg: Vec<u8>,
+    /// The EM measurement of the `FFT(c) ⊙ FFT(f)` region.
+    pub trace: Trace,
+}
+
+/// The micro-operations of one emulated multiplication, in trace order.
+///
+/// The indices match the emission order of
+/// [`falcon_fpr::Fpr::mul_observed`]; `ExponentAdd` and `SignXor` trail
+/// the mantissa pipeline exactly as annotated on the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum StepKind {
+    /// Operand fetch.
+    OperandLoad = 0,
+    /// Mantissa split into 25-bit low / 28-bit high halves.
+    MantissaSplit = 1,
+    /// Partial product `x_lo·y_lo` (the paper's `D×B`).
+    PpLoLo = 2,
+    /// Partial product `x_lo·y_hi` (the paper's `D×A`).
+    PpLoHi = 3,
+    /// Accumulation after `x_lo·y_hi` — a *prune* target.
+    AddLoHi = 4,
+    /// Partial product `x_hi·y_lo`.
+    PpHiLo = 5,
+    /// Accumulation after `x_hi·y_lo` — a *prune* target.
+    AddHiLo = 6,
+    /// Partial product `x_hi·y_hi`.
+    PpHiHi = 7,
+    /// Top-word accumulation — a *prune* target.
+    AddHiHi = 8,
+    /// Sticky-bit folding.
+    StickyFold = 9,
+    /// Renormalised mantissa write-back.
+    Normalize = 10,
+    /// Exponent addition result.
+    ExponentAdd = 11,
+    /// Sign XOR.
+    SignXor = 12,
+    /// Result pack/write-back.
+    Pack = 13,
+}
+
+impl StepKind {
+    /// All steps in trace order.
+    pub const ALL: [StepKind; 14] = [
+        StepKind::OperandLoad,
+        StepKind::MantissaSplit,
+        StepKind::PpLoLo,
+        StepKind::PpLoHi,
+        StepKind::AddLoHi,
+        StepKind::PpHiLo,
+        StepKind::AddHiLo,
+        StepKind::PpHiHi,
+        StepKind::AddHiHi,
+        StepKind::StickyFold,
+        StepKind::Normalize,
+        StepKind::ExponentAdd,
+        StepKind::SignXor,
+        StepKind::Pack,
+    ];
+
+    /// Number of micro-ops per multiplication.
+    pub const COUNT: usize = 14;
+}
+
+/// The deterministic sample layout of the pointwise-multiplication
+/// region for ring degree `n`.
+///
+/// The region multiplies `n/2` complex coefficients; each complex product
+/// issues four real multiplications (`re·re`, `im·im`, `re·im`, `im·re`),
+/// each of [`StepKind::COUNT`] micro-ops. Every secret `Fpr` value of
+/// `FFT(f)` (flat index `0..n`: real parts then imaginary parts) is the
+/// operand of exactly two of those multiplications per trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulOpLayout {
+    n: usize,
+}
+
+impl MulOpLayout {
+    /// Layout for ring degree `n`.
+    pub fn new(n: usize) -> MulOpLayout {
+        assert!(n.is_power_of_two() && n >= 2);
+        MulOpLayout { n }
+    }
+
+    /// Ring degree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total samples per trace.
+    pub fn samples_per_trace(&self) -> usize {
+        (self.n / 2) * 4 * StepKind::COUNT
+    }
+
+    /// Indices (within the trace's multiplication sequence) of the two
+    /// multiplications whose **secret** operand is the flat `FFT(f)`
+    /// index `secret`, together with the flat index of the **known**
+    /// `FFT(c)` operand of each.
+    ///
+    /// Order of the four multiplications of complex coefficient `j`:
+    /// `re(f)·re(c)`, `im(f)·im(c)`, `re(f)·im(c)`, `im(f)·re(c)`.
+    pub fn muls_for_secret(&self, secret: usize) -> [(usize, usize); 2] {
+        let hn = self.n / 2;
+        assert!(secret < self.n);
+        if secret < hn {
+            // Real part of coefficient j = secret.
+            let j = secret;
+            [(4 * j, j), (4 * j + 2, j + hn)]
+        } else {
+            let j = secret - hn;
+            [(4 * j + 1, secret), (4 * j + 3, j)]
+        }
+    }
+
+    /// Absolute sample index of `step` within multiplication `mul_idx`.
+    pub fn sample_index(&self, mul_idx: usize, step: StepKind) -> usize {
+        debug_assert!(mul_idx < (self.n / 2) * 4);
+        mul_idx * StepKind::COUNT + step as usize
+    }
+
+    /// The sample range covering complex coefficient `j`'s four
+    /// multiplications.
+    pub fn coefficient_range(&self, j: usize) -> core::ops::Range<usize> {
+        let start = 4 * j * StepKind::COUNT;
+        start..start + 4 * StepKind::COUNT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_counts() {
+        let l = MulOpLayout::new(512);
+        assert_eq!(l.samples_per_trace(), 256 * 4 * 14);
+        assert_eq!(l.sample_index(0, StepKind::OperandLoad), 0);
+        assert_eq!(l.sample_index(1, StepKind::OperandLoad), 14);
+        assert_eq!(l.sample_index(0, StepKind::SignXor), 12);
+    }
+
+    #[test]
+    fn secret_to_mul_mapping() {
+        let l = MulOpLayout::new(8);
+        // Secret re(0): muls 0 (×c_re idx 0) and 2 (×c_im idx 4).
+        assert_eq!(l.muls_for_secret(0), [(0, 0), (2, 4)]);
+        // Secret im(0) = flat 4: muls 1 (×c_im idx 4) and 3 (×c_re idx 0).
+        assert_eq!(l.muls_for_secret(4), [(1, 4), (3, 0)]);
+        // Secret re(3): muls 12, 14.
+        assert_eq!(l.muls_for_secret(3), [(12, 3), (14, 7)]);
+    }
+
+    #[test]
+    fn coefficient_ranges_tile_the_trace() {
+        let l = MulOpLayout::new(16);
+        let mut covered = 0;
+        for j in 0..8 {
+            let r = l.coefficient_range(j);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+        }
+        assert_eq!(covered, l.samples_per_trace());
+    }
+}

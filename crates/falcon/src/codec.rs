@@ -1,0 +1,212 @@
+//! Signature compression (the specification's `Compress`/`Decompress`).
+//!
+//! Each signed coefficient is stored as a sign bit, its 7 low magnitude
+//! bits, and the remaining high bits in unary (`k` zeros and a
+//! terminating one). The encoding is padded with zero bits to the fixed
+//! signature length; decoding enforces canonicality (no minus zero, no
+//! nonzero padding), as the reference implementation does.
+
+/// Bit-level writer over a fixed-capacity byte buffer.
+struct BitWriter {
+    buf: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+    cap_bytes: usize,
+}
+
+impl BitWriter {
+    fn new(cap_bytes: usize) -> Self {
+        BitWriter { buf: Vec::with_capacity(cap_bytes), acc: 0, nbits: 0, cap_bytes }
+    }
+
+    /// Appends `n` bits (most significant first). Returns `false` on
+    /// overflow of the capacity.
+    fn push(&mut self, bits: u32, n: u32) -> bool {
+        debug_assert!(n <= 24);
+        self.acc = (self.acc << n) | (bits & ((1 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            if self.buf.len() == self.cap_bytes {
+                return false;
+            }
+            self.buf.push((self.acc >> self.nbits) as u8);
+        }
+        true
+    }
+
+    /// Zero-pads to the capacity and returns the buffer.
+    fn finish(mut self) -> Option<Vec<u8>> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            if !self.push(0, pad) {
+                return None;
+            }
+        }
+        while self.buf.len() < self.cap_bytes {
+            self.buf.push(0);
+        }
+        Some(self.buf)
+    }
+}
+
+/// Bit-level reader.
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn bit(&mut self) -> Option<u32> {
+        if self.nbits == 0 {
+            if self.pos == self.buf.len() {
+                return None;
+            }
+            self.acc = self.buf[self.pos] as u32;
+            self.pos += 1;
+            self.nbits = 8;
+        }
+        self.nbits -= 1;
+        Some((self.acc >> self.nbits) & 1)
+    }
+
+    fn bits(&mut self, n: u32) -> Option<u32> {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Some(v)
+    }
+
+    /// True if every remaining bit is zero (canonical padding).
+    fn rest_is_zero(&mut self) -> bool {
+        while let Some(b) = self.bit() {
+            if b != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Compresses signed coefficients into exactly `out_len` bytes.
+///
+/// Returns `None` when the encoding does not fit (the signer then
+/// restarts with a fresh salt) or when a coefficient magnitude is ≥ 2048
+/// (out of the encodable range).
+pub fn compress(s: &[i16], out_len: usize) -> Option<Vec<u8>> {
+    let mut w = BitWriter::new(out_len);
+    for &v in s {
+        let sign = u32::from(v < 0);
+        let m = v.unsigned_abs() as u32;
+        if m >= 2048 {
+            return None;
+        }
+        if !w.push(sign, 1) || !w.push(m & 0x7F, 7) {
+            return None;
+        }
+        // High bits in unary: (m >> 7) zeros then a one.
+        for _ in 0..(m >> 7) {
+            if !w.push(0, 1) {
+                return None;
+            }
+        }
+        if !w.push(1, 1) {
+            return None;
+        }
+    }
+    w.finish()
+}
+
+/// Decompresses `n` signed coefficients from `buf`, enforcing canonical
+/// encoding (returns `None` on malformed input).
+pub fn decompress(buf: &[u8], n: usize) -> Option<Vec<i16>> {
+    let mut r = BitReader::new(buf);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sign = r.bit()?;
+        let low = r.bits(7)?;
+        let mut high = 0u32;
+        loop {
+            match r.bit()? {
+                1 => break,
+                _ => {
+                    high += 1;
+                    if high >= 16 {
+                        return None; // implies m >= 2048: non-canonical
+                    }
+                }
+            }
+        }
+        let m = (high << 7) | low;
+        if m == 0 && sign == 1 {
+            return None; // minus zero is non-canonical
+        }
+        let v = m as i16;
+        out.push(if sign == 1 { -v } else { v });
+    }
+    r.rest_is_zero().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_vectors() {
+        let cases: Vec<Vec<i16>> = vec![
+            vec![0; 8],
+            vec![1, -1, 127, -127, 128, -128, 2047, -2047],
+            (0..64).map(|i| ((i * 37) % 400 - 200) as i16).collect(),
+        ];
+        for s in cases {
+            let bytes = compress(&s, 2 * s.len() + 16).expect("fits");
+            let back = decompress(&bytes, s.len()).expect("decodes");
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        assert!(compress(&[2048], 100).is_none());
+        assert!(compress(&[-4000], 100).is_none());
+        // Too small a buffer.
+        assert!(compress(&[2047; 32], 8).is_none());
+    }
+
+    #[test]
+    fn minus_zero_rejected() {
+        // sign=1, low7=0, terminator=1 -> 0b1_0000000_1 padded.
+        let bytes = vec![0b1000_0000, 0b1000_0000, 0, 0];
+        assert!(decompress(&bytes, 1).is_none());
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let s = vec![5i16, -3];
+        let mut bytes = compress(&s, 8).unwrap();
+        assert_eq!(decompress(&bytes, 2).unwrap(), s);
+        *bytes.last_mut().unwrap() |= 1;
+        assert!(decompress(&bytes, 2).is_none());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let s = vec![100i16; 16];
+        let bytes = compress(&s, 64).unwrap();
+        assert!(decompress(&bytes[..4], 16).is_none());
+    }
+
+    #[test]
+    fn fixed_width_output() {
+        let s = vec![7i16; 16];
+        let bytes = compress(&s, 100).unwrap();
+        assert_eq!(bytes.len(), 100);
+    }
+}

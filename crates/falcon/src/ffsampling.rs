@@ -1,0 +1,273 @@
+//! The ffLDL* Gram tree and fast Fourier nearest-plane sampling.
+//!
+//! Key generation decomposes the Gram matrix `G = B̂·B̂*` of the secret
+//! basis into a binary tree of LDL* factorisations ([`LdlTree::build`]);
+//! each leaf ends up holding a standard deviation `σ/√(leaf value)`
+//! (Algorithm 1, lines 5–8 of the paper). Signing then walks the tree
+//! with [`ff_sampling`] (Algorithm 2, line 6), drawing each lattice
+//! coordinate from [`sampler_z`].
+
+use crate::fft::{
+    poly_add, poly_merge_fft, poly_mul_fft, poly_muladj_fft, poly_split_fft, poly_sub, set,
+    at, Cplx,
+};
+use crate::rng::Prng;
+use crate::sampler::sampler_z;
+use falcon_fpr::Fpr;
+
+/// A node of the ffLDL* tree.
+///
+/// Inner nodes carry the FFT-domain `L` factor `l10` of their level's 2×2
+/// LDL* decomposition; leaves carry the per-coordinate Gaussian standard
+/// deviation.
+#[derive(Debug, Clone)]
+pub enum LdlTree {
+    /// An internal node covering polynomials of `2^logn` coefficients.
+    Node {
+        /// FFT-domain `l10 = g10/g00` (layout size `2^logn`).
+        l10: Vec<Fpr>,
+        /// Subtree for the `d00` half.
+        left: Box<LdlTree>,
+        /// Subtree for the `d11` half.
+        right: Box<LdlTree>,
+    },
+    /// A leaf: the (already normalised) sampling standard deviation.
+    Leaf {
+        /// `σ/√(diagonal value)`.
+        sigma: Fpr,
+    },
+}
+
+impl LdlTree {
+    /// Builds the tree from the FFT-domain Gram matrix entries
+    /// `(g00, g01, g11)` (each in FALCON layout, size `2^logn`), then
+    /// normalises the leaves to `sigma / sqrt(leaf)`.
+    pub fn build(g00: &[Fpr], g01: &[Fpr], g11: &[Fpr], sigma: Fpr) -> LdlTree {
+        let mut t = Self::build_raw(g00, g01, g11);
+        t.normalize(sigma);
+        t
+    }
+
+    fn build_raw(g00: &[Fpr], g01: &[Fpr], g11: &[Fpr]) -> LdlTree {
+        let n = g00.len();
+        debug_assert!(n >= 2);
+        // LDL*: l10 = adj(g01)/g00, d00 = g00,
+        // d11 = g11 − l10·adj(l10)·g00.
+        let mut l10 = g01.to_vec();
+        let hn = n / 2;
+        for j in 0..hn {
+            let g0 = at(g00, j);
+            // g10 = conj(g01); divide by the (real, positive) g00.
+            let inv = g0.re.inv();
+            set(&mut l10, j, at(g01, j).conj().scale(inv));
+        }
+        let mut d11 = g11.to_vec();
+        for j in 0..hn {
+            let l = at(&l10, j);
+            let sub = l.norm_sq() * at(g00, j).re;
+            let cur = at(&d11, j);
+            set(&mut d11, j, Cplx::new(cur.re - sub, cur.im));
+        }
+        if n == 2 {
+            return LdlTree::Node {
+                l10,
+                left: Box::new(LdlTree::Leaf { sigma: g00[0] }),
+                right: Box::new(LdlTree::Leaf { sigma: d11[0] }),
+            };
+        }
+        let (d00_0, d00_1) = poly_split_fft(g00);
+        let (d11_0, d11_1) = poly_split_fft(&d11);
+        let left = Self::build_raw(&d00_0, &d00_1, &d00_0);
+        let right = Self::build_raw(&d11_0, &d11_1, &d11_0);
+        LdlTree::Node { l10, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// Replaces each raw leaf value `v` (a Gaussian variance) by the
+    /// sampling deviation `sigma/√v` — the paper's Algorithm 1, line 7.
+    fn normalize(&mut self, sigma: Fpr) {
+        match self {
+            LdlTree::Leaf { sigma: v } => {
+                *v = sigma / v.sqrt();
+            }
+            LdlTree::Node { left, right, .. } => {
+                left.normalize(sigma);
+                right.normalize(sigma);
+            }
+        }
+    }
+
+    /// Depth-first iterator over leaf sigmas (diagnostics and tests).
+    pub fn leaf_sigmas(&self) -> Vec<Fpr> {
+        match self {
+            LdlTree::Leaf { sigma } => vec![*sigma],
+            LdlTree::Node { left, right, .. } => {
+                let mut v = left.leaf_sigmas();
+                v.extend(right.leaf_sigmas());
+                v
+            }
+        }
+    }
+}
+
+/// Fast Fourier sampling (specification Algorithm 11): samples an
+/// integral lattice point `(z0, z1)` close to the FFT-domain target
+/// `(t0, t1)` under the Gram tree `tree`.
+///
+/// `sigma_min` is the parameter set's minimum deviation, forwarded to
+/// [`sampler_z`].
+pub fn ff_sampling(
+    t0: &[Fpr],
+    t1: &[Fpr],
+    tree: &LdlTree,
+    sigma_min: Fpr,
+    rng: &mut Prng,
+) -> (Vec<Fpr>, Vec<Fpr>) {
+    if t0.len() == 1 {
+        // Base case: the FFT representation of a 1-coefficient polynomial
+        // is the coefficient itself; sample both coordinates.
+        let LdlTree::Leaf { sigma } = tree else {
+            unreachable!("tree/vector size mismatch");
+        };
+        let isigma = sigma.inv();
+        let z0 = sampler_z(rng, t0[0], isigma, sigma_min);
+        let z1 = sampler_z(rng, t1[0], isigma, sigma_min);
+        return (vec![Fpr::from_i64(z0)], vec![Fpr::from_i64(z1)]);
+    }
+    let LdlTree::Node { l10, left, right } = tree else {
+        unreachable!("tree/vector size mismatch");
+    };
+
+    // Second coordinate first, from the right subtree.
+    let (t1_0, t1_1) = poly_split_fft(t1);
+    let (z1_0, z1_1) = ff_sampling(&t1_0, &t1_1, right, sigma_min, rng);
+    let z1 = poly_merge_fft(&z1_0, &z1_1);
+
+    // t0' = t0 + (t1 − z1)·l10
+    let mut tb = t1.to_vec();
+    poly_sub(&mut tb, &z1);
+    poly_mul_fft(&mut tb, l10);
+    poly_add(&mut tb, t0);
+
+    let (t0_0, t0_1) = poly_split_fft(&tb);
+    let (z0_0, z0_1) = ff_sampling(&t0_0, &t0_1, left, sigma_min, rng);
+    let z0 = poly_merge_fft(&z0_0, &z0_1);
+    (z0, z1)
+}
+
+/// Convenience: FFT-domain Gram matrix of the basis
+/// `B̂ = [[b00, b01], [b10, b11]]`, returning `(g00, g01, g11)`.
+pub fn gram(b00: &[Fpr], b01: &[Fpr], b10: &[Fpr], b11: &[Fpr]) -> (Vec<Fpr>, Vec<Fpr>, Vec<Fpr>) {
+    let n = b00.len();
+    let mut g00 = b00.to_vec();
+    poly_muladj_fft(&mut g00, b00);
+    let mut t = b01.to_vec();
+    poly_muladj_fft(&mut t, b01);
+    poly_add(&mut g00, &t);
+
+    let mut g01 = b00.to_vec();
+    poly_muladj_fft(&mut g01, b10);
+    let mut t = b01.to_vec();
+    poly_muladj_fft(&mut t, b11);
+    poly_add(&mut g01, &t);
+
+    let mut g11 = b10.to_vec();
+    poly_muladj_fft(&mut g11, b10);
+    let mut t = b11.to_vec();
+    poly_muladj_fft(&mut t, b11);
+    poly_add(&mut g11, &t);
+
+    debug_assert_eq!(g00.len(), n);
+    (g00, g01, g11)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+
+    fn fft_of(ints: &[i64]) -> Vec<Fpr> {
+        let mut v: Vec<Fpr> = ints.iter().map(|&c| Fpr::from_i64(c)).collect();
+        fft(&mut v);
+        v
+    }
+
+    #[test]
+    fn tree_shape_and_leaf_count() {
+        // A well-conditioned basis: diagonal-ish.
+        let n = 8usize;
+        let b00 = fft_of(&[4, 1, 0, 0, 0, 0, 0, -1]);
+        let b01 = fft_of(&[1, 0, 0, 0, 0, 0, 0, 0]);
+        let b10 = fft_of(&[0, 1, 0, 0, 0, 0, 0, 0]);
+        let b11 = fft_of(&[5, 0, 0, 1, 0, 0, 0, 0]);
+        let (g00, g01, g11) = gram(&b00, &b01, &b10, &b11);
+        let tree = LdlTree::build(&g00, &g01, &g11, Fpr::from(10.0));
+        // A tree over degree n has n leaves.
+        let sigmas = tree.leaf_sigmas();
+        assert_eq!(sigmas.len(), n);
+        for s in sigmas {
+            assert!(s.to_f64() > 0.0, "leaf sigma must be positive");
+            assert!(s.to_f64().is_finite());
+        }
+    }
+
+    #[test]
+    fn sampling_returns_integer_vectors_near_target() {
+        let n = 16usize;
+        // Basis roughly c·I: g00 = g11 ≈ c², g01 ≈ 0.
+        let mut ints0 = vec![0i64; n];
+        ints0[0] = 9;
+        let b00 = fft_of(&ints0);
+        let b01 = fft_of(&vec![0i64; n]);
+        let b10 = fft_of(&vec![0i64; n]);
+        let b11 = fft_of(&ints0);
+        let (g00, g01, g11) = gram(&b00, &b01, &b10, &b11);
+        let sigma = Fpr::from(12.0);
+        let tree = LdlTree::build(&g00, &g01, &g11, sigma);
+
+        // Target: integer vector (3, ..., 3)/(1, ..., -2) in FFT domain.
+        let t0 = fft_of(&vec![3i64; n]);
+        let t1 = fft_of(&{
+            let mut v = vec![1i64; n];
+            v[1] = -2;
+            v
+        });
+        let mut rng = Prng::from_seed(b"ffsampling");
+        let smin = Fpr::from(1.2);
+        let (z0, z1) = ff_sampling(&t0, &t1, &tree, smin, &mut rng);
+        // z must be FFTs of integer polynomials: invert and check.
+        for z in [z0, z1] {
+            let mut c = z.clone();
+            crate::fft::ifft(&mut c);
+            for x in c {
+                let v = x.to_f64();
+                assert!((v - v.round()).abs() < 1e-6, "non-integer coordinate {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_centers_on_target() {
+        // With a scaled-identity Gram, z0 should be a Gaussian around t0.
+        let n = 4usize;
+        let mut ints = vec![0i64; n];
+        ints[0] = 8;
+        let b00 = fft_of(&ints);
+        let zeros = fft_of(&vec![0i64; n]);
+        let (g00, g01, g11) = gram(&b00, &zeros, &zeros, &b00);
+        let sigma = Fpr::from(12.0);
+        let tree = LdlTree::build(&g00, &g01, &g11, sigma);
+        let t0 = fft_of(&[5, 0, 0, 0]);
+        let t1 = fft_of(&[0, 0, 0, 0]);
+        let mut rng = Prng::from_seed(b"center");
+        let mut acc = 0f64;
+        let trials = 2000;
+        for _ in 0..trials {
+            let (z0, _) = ff_sampling(&t0, &t1, &tree, Fpr::from(1.2), &mut rng);
+            let mut c = z0.clone();
+            crate::fft::ifft(&mut c);
+            acc += c[0].to_f64().round();
+        }
+        let mean = acc / trials as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean={mean}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Key serialisation in the specification's wire formats.
+//!
+//! * Public key: header byte `0x00 | logn`, then the `n` coefficients of
+//!   `h` packed on 14 bits each — 897 bytes for FALCON-512.
+//! * Private key: header byte `0x50 | logn`, then `f`, `g` packed on
+//!   `max_fg_bits(logn)` bits (two's complement) and `F` on 8 bits; `G`
+//!   is not stored — it is recomputed from the NTRU equation
+//!   (`G ≡ f⁻¹·g·F mod q`, lifted to its small representative) — giving
+//!   1281 bytes for FALCON-512.
+
+use crate::keygen::{SigningKey, VerifyingKey};
+use crate::ntt::{mq_from_signed, mq_mul, mq_to_signed, NttTables};
+use crate::params::{LogN, Q};
+
+/// Signed coefficient width for `f` and `g` per `logn` (reference
+/// implementation's `max_fg_bits`).
+pub fn max_fg_bits(logn: u32) -> u32 {
+    match logn {
+        1..=5 => 8,
+        6 | 7 => 7,
+        8 | 9 => 6,
+        _ => 5,
+    }
+}
+
+/// Signed coefficient width for `F` (and `G`): 8 bits at the production
+/// degrees, as in the specification. At the small test degrees the NTRU
+/// solutions carry far larger coefficients (the norm `≈ 1.17√q` spreads
+/// over fewer entries), so those use a 14-bit field — a documented
+/// deviation that only affects test-size keys.
+pub fn max_capfg_bits(logn: u32) -> u32 {
+    if logn >= 8 {
+        8
+    } else {
+        14
+    }
+}
+
+struct BitWriter {
+    out: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+    }
+    fn push(&mut self, v: u64, bits: u32) {
+        self.acc = (self.acc << bits) | (v & ((1 << bits) - 1));
+        self.nbits += bits;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.out.push((self.acc >> self.nbits) as u8);
+        }
+    }
+    fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.push(0, pad);
+        }
+        self.out
+    }
+}
+
+struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0, acc: 0, nbits: 0 }
+    }
+    fn read(&mut self, bits: u32) -> Option<u64> {
+        while self.nbits < bits {
+            let b = *self.buf.get(self.pos)?;
+            self.pos += 1;
+            self.acc = (self.acc << 8) | b as u64;
+            self.nbits += 8;
+        }
+        self.nbits -= bits;
+        Some((self.acc >> self.nbits) & ((1 << bits) - 1))
+    }
+    fn rest_is_zero_padding(&mut self) -> bool {
+        while self.nbits > 0 {
+            self.nbits -= 1;
+            if (self.acc >> self.nbits) & 1 != 0 {
+                return false;
+            }
+        }
+        self.pos == self.buf.len()
+    }
+}
+
+fn sign_extend(v: u64, bits: u32) -> i16 {
+    let shift = 64 - bits;
+    (((v << shift) as i64) >> shift) as i16
+}
+
+fn fits_signed(v: i16, bits: u32) -> bool {
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    (v as i32) >= lo && (v as i32) <= hi
+}
+
+/// Encoded public-key length in bytes.
+pub fn public_key_len(logn: u32) -> usize {
+    1 + ((1usize << logn) * 14).div_ceil(8)
+}
+
+/// True when the encoding stores `G` explicitly (test degrees, where
+/// `G`'s range exceeds the centered mod-q lift); at production degrees
+/// `G` is reconstructed from the NTRU equation, as in the specification.
+pub fn stores_capg(logn: u32) -> bool {
+    logn < 8
+}
+
+/// Encoded private-key length in bytes.
+pub fn secret_key_len(logn: u32) -> usize {
+    let n = 1usize << logn;
+    let cap_polys = if stores_capg(logn) { 2 } else { 1 };
+    1 + (2 * n * max_fg_bits(logn) as usize).div_ceil(8)
+        + (cap_polys * n * max_capfg_bits(logn) as usize).div_ceil(8)
+}
+
+impl VerifyingKey {
+    /// Serialises to the specification's public-key format (897 bytes
+    /// for FALCON-512).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for &c in self.h() {
+            debug_assert!((c as u32) < Q);
+            w.push(c as u64, 14);
+        }
+        let mut out = vec![self.logn().logn() as u8];
+        out.extend(w.finish());
+        out
+    }
+
+    /// Parses the public-key format; `None` on malformed input
+    /// (wrong length, out-of-range coefficient, nonzero padding).
+    pub fn from_bytes(bytes: &[u8]) -> Option<VerifyingKey> {
+        let (&header, rest) = bytes.split_first()?;
+        if header & 0xF0 != 0 {
+            return None;
+        }
+        let logn = LogN::new((header & 0x0F) as u32)?;
+        if bytes.len() != public_key_len(logn.logn()) {
+            return None;
+        }
+        let mut r = BitReader::new(rest);
+        let mut h = Vec::with_capacity(logn.n());
+        for _ in 0..logn.n() {
+            let v = r.read(14)?;
+            if v >= Q as u64 {
+                return None;
+            }
+            h.push(v as u16);
+        }
+        r.rest_is_zero_padding().then(|| VerifyingKey::from_h(logn, h))
+    }
+}
+
+impl SigningKey {
+    /// Serialises to the specification's private-key format (1281 bytes
+    /// for FALCON-512): header, `f`, `g`, `F` (`G` is recomputed on
+    /// decode).
+    ///
+    /// Returns `None` if a coefficient exceeds its fixed field width
+    /// (statistically negligible for honestly generated keys; such keys
+    /// are regenerated by real implementations).
+    pub fn to_bytes(&self) -> Option<Vec<u8>> {
+        let logn = self.logn().logn();
+        let fg_bits = max_fg_bits(logn);
+        let mut w = BitWriter::new();
+        for poly in [self.f(), self.g()] {
+            for &c in poly {
+                if !fits_signed(c, fg_bits) {
+                    return None;
+                }
+                w.push(c as u64, fg_bits);
+            }
+        }
+        let cap_bits = max_capfg_bits(logn);
+        let cap_polys: &[&[i16]] =
+            if stores_capg(logn) { &[self.cap_f(), self.cap_g()] } else { &[self.cap_f()] };
+        for poly in cap_polys {
+            for &c in poly.iter() {
+                if !fits_signed(c, cap_bits) {
+                    return None;
+                }
+                w.push(c as u64, cap_bits);
+            }
+        }
+        let mut out = vec![0x50 | logn as u8];
+        out.extend(w.finish());
+        Some(out)
+    }
+
+    /// Parses the private-key format and rebuilds the full signing state
+    /// (public key, `G`, FFT basis and sampling tree).
+    ///
+    /// Returns `None` on malformed input or when the polynomials do not
+    /// satisfy the NTRU equation (e.g. `f` not invertible).
+    pub fn from_bytes(bytes: &[u8]) -> Option<SigningKey> {
+        let (&header, rest) = bytes.split_first()?;
+        if header & 0xF0 != 0x50 {
+            return None;
+        }
+        let logn = LogN::new((header & 0x0F) as u32)?;
+        if bytes.len() != secret_key_len(logn.logn()) {
+            return None;
+        }
+        let n = logn.n();
+        let fg_bits = max_fg_bits(logn.logn());
+        let mut r = BitReader::new(rest);
+        let mut read_poly = |bits: u32| -> Option<Vec<i16>> {
+            (0..n).map(|_| r.read(bits).map(|v| sign_extend(v, bits))).collect()
+        };
+        let f = read_poly(fg_bits)?;
+        let g = read_poly(fg_bits)?;
+        let capf = read_poly(max_capfg_bits(logn.logn()))?;
+        let stored_capg = if stores_capg(logn.logn()) {
+            Some(read_poly(max_capfg_bits(logn.logn()))?)
+        } else {
+            None
+        };
+        if !r.rest_is_zero_padding() {
+            return None;
+        }
+
+        // h = g·f⁻¹ and, when not stored, G ≡ f⁻¹·g·F (mod q) lifted to
+        // centered form (valid at production degrees, where |G| < q/2).
+        let tables = NttTables::new(logn.logn());
+        let mut fq: Vec<u32> = f.iter().map(|&v| mq_from_signed(v as i32)).collect();
+        let mut gq: Vec<u32> = g.iter().map(|&v| mq_from_signed(v as i32)).collect();
+        let mut cfq: Vec<u32> = capf.iter().map(|&v| mq_from_signed(v as i32)).collect();
+        tables.ntt(&mut fq);
+        if fq.contains(&0) {
+            return None;
+        }
+        tables.ntt(&mut gq);
+        tables.ntt(&mut cfq);
+        let mut hq = Vec::with_capacity(n);
+        let mut capg_q = Vec::with_capacity(n);
+        for i in 0..n {
+            let finv = crate::ntt::mq_inv(fq[i]);
+            hq.push(mq_mul(gq[i], finv));
+            capg_q.push(mq_mul(mq_mul(gq[i], cfq[i]), finv));
+        }
+        tables.intt(&mut hq);
+        tables.intt(&mut capg_q);
+        let h: Vec<u16> = hq.into_iter().map(|v| v as u16).collect();
+        let capg: Vec<i16> = match stored_capg {
+            Some(v) => v,
+            None => capg_q.into_iter().map(|v| mq_to_signed(v) as i16).collect(),
+        };
+
+        if !crate::keygen::ntru_equation_holds(&f, &g, &capf, &capg) {
+            return None;
+        }
+        Some(SigningKey::from_private(logn, &f, &g, &capf, &capg, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::KeyPair;
+    use crate::rng::Prng;
+
+    fn pair(logn: u32, seed: &[u8]) -> KeyPair {
+        let mut rng = Prng::from_seed(seed);
+        KeyPair::generate(LogN::new(logn).unwrap(), &mut rng)
+    }
+
+    #[test]
+    fn spec_lengths() {
+        assert_eq!(public_key_len(9), 897);
+        assert_eq!(secret_key_len(9), 1281);
+        assert_eq!(public_key_len(10), 1793);
+        assert_eq!(secret_key_len(10), 2305);
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let kp = pair(4, b"pk codec");
+        let bytes = kp.verifying_key().to_bytes();
+        assert_eq!(bytes.len(), public_key_len(4));
+        let back = VerifyingKey::from_bytes(&bytes).expect("parses");
+        assert_eq!(&back, kp.verifying_key());
+        // Corruption checks.
+        assert!(VerifyingKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut bad = bytes.clone();
+        bad[0] = 0x80;
+        assert!(VerifyingKey::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn secret_key_roundtrip_and_reconstruction() {
+        let kp = pair(4, b"sk codec");
+        let sk = kp.signing_key();
+        let bytes = sk.to_bytes().expect("key fits the fixed widths");
+        assert_eq!(bytes.len(), secret_key_len(4));
+        let back = SigningKey::from_bytes(&bytes).expect("parses");
+        assert_eq!(back.f(), sk.f());
+        assert_eq!(back.g(), sk.g());
+        assert_eq!(back.cap_f(), sk.cap_f());
+        assert_eq!(back.cap_g(), sk.cap_g(), "G must be reconstructed exactly");
+        assert_eq!(back.h(), sk.h());
+        // The reconstructed key signs and the original public key
+        // verifies.
+        let mut rng = Prng::from_seed(b"sk codec sig");
+        let sig = back.sign(b"serialisation probe", &mut rng);
+        assert!(kp.verifying_key().verify(b"serialisation probe", &sig));
+    }
+
+    #[test]
+    fn corrupted_secret_key_rejected() {
+        let kp = pair(3, b"sk corrupt");
+        let bytes = kp.signing_key().to_bytes().unwrap();
+        // Flipping key material breaks the NTRU equation (or produces a
+        // different-but-valid key only with negligible probability).
+        let mut bad = bytes.clone();
+        bad[5] ^= 0xFF;
+        if let Some(k) = SigningKey::from_bytes(&bad) {
+            assert_ne!(k.f(), kp.signing_key().f());
+        }
+        // Header and length checks.
+        let mut bad = bytes.clone();
+        bad[0] = 0x30;
+        assert!(SigningKey::from_bytes(&bad).is_none());
+        assert!(SigningKey::from_bytes(&bytes[..10]).is_none());
+    }
+
+    #[test]
+    fn sign_extend_helper() {
+        assert_eq!(sign_extend(0b111111, 6), -1);
+        assert_eq!(sign_extend(0b011111, 6), 31);
+        assert_eq!(sign_extend(0b100000, 6), -32);
+        assert_eq!(sign_extend(0xFF, 8), -1);
+    }
+}

@@ -1,0 +1,55 @@
+//! A complete implementation of the FALCON post-quantum signature scheme.
+//!
+//! FALCON (Fast-Fourier lattice-based compact signatures over NTRU) is a
+//! hash-and-sign scheme built on the NTRU lattice and the GPV trapdoor
+//! sampler. This crate implements all of it from scratch:
+//!
+//! * key generation — Gaussian sampling of the private polynomials
+//!   `(f, g)`, the recursive **NTRU equation solver** (`fG − gF = q`) over
+//!   arbitrary-precision integers with Babai size reduction, and the
+//!   ffLDL* Gram tree ([`keygen`]);
+//! * signing — SHAKE256 hash-to-point, the fast Fourier transform over
+//!   FALCON's emulated floating point ([`fft`]), fast Fourier sampling
+//!   with the discrete Gaussian sampler `SamplerZ` ([`sampler`],
+//!   [`ffsampling`]), and signature compression ([`codec`]);
+//! * verification — NTT arithmetic modulo `q = 12289` ([`ntt`]).
+//!
+//! All floating-point arithmetic on the signing path uses
+//! [`falcon_fpr::Fpr`], the emulated IEEE-754 double of the reference
+//! implementation, which is what the *Falcon Down* side-channel attack
+//! targets. [`SigningKey::sign_traced`] exposes the micro-operations of
+//! the attacked `FFT(c) ⊙ FFT(f)` pointwise multiplication to a
+//! [`falcon_fpr::MulObserver`].
+//!
+//! ```
+//! use falcon_sig::{KeyPair, LogN, rng::Prng};
+//!
+//! let mut rng = Prng::from_seed(b"doc example seed");
+//! // Tiny parameter set for a fast doctest; real deployments use
+//! // LogN::N512 or LogN::N1024.
+//! let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+//! let sig = kp.signing_key().sign(b"message", &mut rng);
+//! assert!(kp.verifying_key().verify(b"message", &sig));
+//! ```
+
+pub mod codec;
+pub mod fft;
+pub mod ffsampling;
+pub mod hash;
+pub mod keygen;
+pub mod keys;
+pub mod ntt;
+pub mod params;
+pub mod poly;
+pub mod rng;
+pub mod sampler;
+pub mod shake;
+pub mod sign;
+pub mod verify;
+pub mod zint;
+
+pub mod poly_big;
+
+pub use keygen::{KeyPair, SigningKey, VerifyingKey};
+pub use params::LogN;
+pub use sign::Signature;

@@ -1,0 +1,294 @@
+//! Number-theoretic transform modulo `q = 12289`.
+//!
+//! FALCON verification works entirely over `Z_q[x]/(x^n + 1)`; since
+//! `q − 1 = 3·2^12`, the field has roots of unity of order up to 4096 and
+//! supports a negacyclic NTT for every supported degree. Key generation
+//! also uses it to check invertibility of `f` and to compute the public
+//! key `h = g·f⁻¹ mod q`.
+//!
+//! The paper's §V.C contrasts the side-channel behaviour of this integer
+//! transform with the floating-point FFT; the benchmark harness drives
+//! the same differential attack against [`mq_mul`] intermediates.
+
+use crate::params::Q;
+
+/// Modular addition in `Z_q`.
+#[inline]
+pub fn mq_add(a: u32, b: u32) -> u32 {
+    let s = a + b;
+    if s >= Q {
+        s - Q
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction in `Z_q`.
+#[inline]
+pub fn mq_sub(a: u32, b: u32) -> u32 {
+    if a >= b {
+        a - b
+    } else {
+        a + Q - b
+    }
+}
+
+/// Modular multiplication in `Z_q`.
+#[inline]
+pub fn mq_mul(a: u32, b: u32) -> u32 {
+    ((a as u64 * b as u64) % Q as u64) as u32
+}
+
+/// Modular exponentiation in `Z_q`.
+pub fn mq_pow(mut base: u32, mut exp: u32) -> u32 {
+    let mut acc = 1u32;
+    base %= Q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mq_mul(acc, base);
+        }
+        base = mq_mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse in `Z_q` (q is prime; `a` must be nonzero mod q).
+pub fn mq_inv(a: u32) -> u32 {
+    debug_assert!(!a.is_multiple_of(Q));
+    mq_pow(a, Q - 2)
+}
+
+/// Finds the least primitive root of `Z_q*` (it is 11 for q = 12289; the
+/// search keeps the function self-verifying).
+fn primitive_root() -> u32 {
+    'cand: for g in 2..Q {
+        // q - 1 = 2^12 * 3; g is primitive iff g^((q-1)/2) != 1 and
+        // g^((q-1)/3) != 1.
+        for p in [2u32, 3] {
+            if mq_pow(g, (Q - 1) / p) == 1 {
+                continue 'cand;
+            }
+        }
+        return g;
+    }
+    unreachable!("q is prime; a primitive root exists")
+}
+
+/// Precomputed tables for one transform size.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    logn: u32,
+    /// psi^i for i in 0..n, psi a primitive 2n-th root of unity, in
+    /// bit-reversed order (forward butterflies).
+    gm: Vec<u32>,
+    /// psi^-i in bit-reversed order (inverse butterflies).
+    igm: Vec<u32>,
+    /// n^-1 mod q.
+    ninv: u32,
+}
+
+fn bit_rev(x: u32, bits: u32) -> u32 {
+    x.reverse_bits() >> (32 - bits)
+}
+
+impl NttTables {
+    /// Builds the tables for degree `n = 2^logn`.
+    pub fn new(logn: u32) -> NttTables {
+        assert!((1..=12).contains(&logn));
+        let n = 1usize << logn;
+        let g = primitive_root();
+        let psi = mq_pow(g, (Q - 1) / (2 * n as u32));
+        let ipsi = mq_inv(psi);
+        let mut gm = vec![0u32; n];
+        let mut igm = vec![0u32; n];
+        for i in 0..n {
+            let r = bit_rev(i as u32, logn);
+            gm[i] = mq_pow(psi, r);
+            igm[i] = mq_pow(ipsi, r);
+        }
+        let ninv = mq_inv(n as u32);
+        NttTables { logn, gm, igm, ninv }
+    }
+
+    /// The transform degree.
+    pub fn n(&self) -> usize {
+        1 << self.logn
+    }
+
+    /// In-place forward negacyclic NTT (Cooley–Tukey, natural order in,
+    /// bit-reversed internal order, natural order out after [`Self::intt`]).
+    pub fn ntt(&self, a: &mut [u32]) {
+        let n = self.n();
+        assert_eq!(a.len(), n);
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let s = self.gm[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mq_mul(a[j + t], s);
+                    a[j] = mq_add(u, v);
+                    a[j + t] = mq_sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande).
+    pub fn intt(&self, a: &mut [u32]) {
+        let n = self.n();
+        assert_eq!(a.len(), n);
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let hm = m >> 1;
+            for i in 0..hm {
+                let s = self.igm[hm + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = mq_add(u, v);
+                    a[j + t] = mq_mul(mq_sub(u, v), s);
+                }
+            }
+            t <<= 1;
+            m = hm;
+        }
+        for x in a.iter_mut() {
+            *x = mq_mul(*x, self.ninv);
+        }
+    }
+
+    /// Negacyclic product of two polynomials in coefficient form.
+    pub fn poly_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut fa = a.to_vec();
+        let mut fb = b.to_vec();
+        self.ntt(&mut fa);
+        self.ntt(&mut fb);
+        for (x, y) in fa.iter_mut().zip(fb.iter()) {
+            *x = mq_mul(*x, *y);
+        }
+        self.intt(&mut fa);
+        fa
+    }
+
+    /// Returns `f⁻¹ mod (x^n + 1, q)` if `f` is invertible.
+    pub fn poly_inv(&self, f: &[u32]) -> Option<Vec<u32>> {
+        let mut ff = f.to_vec();
+        self.ntt(&mut ff);
+        if ff.contains(&0) {
+            return None;
+        }
+        for v in ff.iter_mut() {
+            *v = mq_inv(*v);
+        }
+        self.intt(&mut ff);
+        Some(ff)
+    }
+}
+
+/// Maps a signed coefficient to its representative in `[0, q)`.
+#[inline]
+pub fn mq_from_signed(v: i32) -> u32 {
+    v.rem_euclid(Q as i32) as u32
+}
+
+/// Maps a `[0, q)` representative to the centered range `(-q/2, q/2]`.
+#[inline]
+pub fn mq_to_signed(v: u32) -> i32 {
+    let v = v as i32;
+    if v > (Q as i32) / 2 {
+        v - Q as i32
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_root_is_11() {
+        assert_eq!(primitive_root(), 11);
+    }
+
+    #[test]
+    fn ntt_roundtrip_all_sizes() {
+        for logn in 1..=10 {
+            let t = NttTables::new(logn);
+            let n = t.n();
+            let orig: Vec<u32> = (0..n).map(|i| (i as u32 * 37 + 5) % Q).collect();
+            let mut a = orig.clone();
+            t.ntt(&mut a);
+            t.intt(&mut a);
+            assert_eq!(a, orig, "logn={logn}");
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // (i, j) are polynomial exponents
+    fn schoolbook_negacyclic(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let n = a.len();
+        let mut r = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let k = (i + j) % n;
+                let sgn: i64 = if i + j >= n { -1 } else { 1 };
+                r[k] += sgn * a[i] as i64 * b[j] as i64;
+            }
+        }
+        r.into_iter().map(|v| v.rem_euclid(Q as i64) as u32).collect()
+    }
+
+    #[test]
+    fn ntt_multiplication_matches_schoolbook() {
+        for logn in [1u32, 3, 5, 6] {
+            let t = NttTables::new(logn);
+            let n = t.n();
+            let a: Vec<u32> = (0..n).map(|i| (i as u32 * 101 + 7) % Q).collect();
+            let b: Vec<u32> = (0..n).map(|i| (i as u32 * 523 + 11) % Q).collect();
+            assert_eq!(t.poly_mul(&a, &b), schoolbook_negacyclic(&a, &b), "logn={logn}");
+        }
+    }
+
+    #[test]
+    fn poly_inverse_works() {
+        let t = NttTables::new(5);
+        let n = t.n();
+        let f: Vec<u32> = (0..n).map(|i| ((i as u32 * 91) + 3) % Q).collect();
+        if let Some(fi) = t.poly_inv(&f) {
+            let prod = t.poly_mul(&f, &fi);
+            let mut want = vec![0u32; n];
+            want[0] = 1;
+            assert_eq!(prod, want);
+        }
+        // x^n+1 style zero divisor: the all-zero polynomial is never
+        // invertible.
+        assert!(t.poly_inv(&vec![0u32; n]).is_none());
+    }
+
+    #[test]
+    fn signed_mapping_roundtrip() {
+        for v in -6144i32..=6144 {
+            assert_eq!(mq_to_signed(mq_from_signed(v)), v);
+        }
+        assert_eq!(mq_from_signed(-1), Q - 1);
+        assert_eq!(mq_to_signed(Q - 1), -1);
+    }
+
+    #[test]
+    fn mq_helpers() {
+        assert_eq!(mq_add(Q - 1, 2), 1);
+        assert_eq!(mq_sub(0, 1), Q - 1);
+        assert_eq!(mq_mul(Q - 1, Q - 1), 1);
+        for a in [1u32, 2, 1234, Q - 1] {
+            assert_eq!(mq_mul(a, mq_inv(a)), 1);
+        }
+    }
+}

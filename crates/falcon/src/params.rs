@@ -1,0 +1,132 @@
+//! FALCON parameter sets.
+//!
+//! FALCON is parameterised by the ring degree `n = 2^logn` over
+//! `Z[x]/(x^n + 1)` with the modulus `q = 12289`. The standard sets are
+//! FALCON-512 (`logn = 9`) and FALCON-1024 (`logn = 10`); smaller degrees
+//! are supported for tests exactly as in the reference implementation.
+
+/// The FALCON modulus (`q = 12289 = 3·2^12 + 1`).
+pub const Q: u32 = 12289;
+
+/// Length in bytes of the random signature salt `r`.
+pub const SALT_LEN: usize = 40;
+
+/// Log2 of the ring degree; the validated parameter handle.
+///
+/// ```
+/// use falcon_sig::params::LogN;
+/// let p = LogN::N512;
+/// assert_eq!(p.n(), 512);
+/// assert_eq!(p.l2_bound(), 34_034_726);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogN(u32);
+
+impl LogN {
+    /// FALCON-512.
+    pub const N512: LogN = LogN(9);
+    /// FALCON-1024.
+    pub const N1024: LogN = LogN(10);
+
+    /// Creates a parameter handle for `n = 2^logn`; valid range is
+    /// `1..=10` (as in the reference code, small degrees are for tests).
+    pub fn new(logn: u32) -> Option<LogN> {
+        (1..=10).contains(&logn).then_some(LogN(logn))
+    }
+
+    /// The raw log2 degree.
+    #[inline]
+    pub fn logn(self) -> u32 {
+        self.0
+    }
+
+    /// The ring degree `n`.
+    #[inline]
+    pub fn n(self) -> usize {
+        1usize << self.0
+    }
+
+    /// Standard deviation `σ_{f,g} = 1.17·√(q/2n)` used when sampling the
+    /// private polynomials `f` and `g` at key generation.
+    pub fn sigma_fg(self) -> f64 {
+        1.17 * (Q as f64 / (2.0 * self.n() as f64)).sqrt()
+    }
+
+    /// The signature sampler's standard deviation
+    /// `σ = σ_min · 1.17 · √q` (165.736… for FALCON-512).
+    pub fn sigma(self) -> f64 {
+        self.sigma_min() * 1.17 * (Q as f64).sqrt()
+    }
+
+    /// Minimum per-leaf standard deviation `σ_min` accepted by SamplerZ,
+    /// from the specification's smoothing-parameter formula with
+    /// `ε = 1/√(2^64·λ)` (`λ = 128`, or 256 for FALCON-1024).
+    pub fn sigma_min(self) -> f64 {
+        let lambda = if self.0 == 10 { 256.0 } else { 128.0 };
+        let inv_eps = (2f64.powi(64) * lambda).sqrt();
+        let n = self.n() as f64;
+        ((4.0 * n * (1.0 + inv_eps)).ln() / 2.0).sqrt() / core::f64::consts::PI
+    }
+
+    /// Maximum per-leaf standard deviation `σ_max = 1.8205`.
+    pub fn sigma_max(self) -> f64 {
+        1.8205
+    }
+
+    /// Squared acceptance bound `⌊β²⌋ = ⌊(1.1·σ·√(2n))²⌋` on signatures.
+    ///
+    /// Matches the specification values 34 034 726 (FALCON-512) and
+    /// 70 265 242 (FALCON-1024).
+    pub fn l2_bound(self) -> u64 {
+        let sigma = self.sigma();
+        (1.21 * sigma * sigma * 2.0 * self.n() as f64).floor() as u64
+    }
+
+    /// Total encoded signature length in bytes (header byte + salt +
+    /// compressed, padded `s2`), per the reference implementation's
+    /// padded-signature size formula: 666 bytes for FALCON-512 and 1280
+    /// for FALCON-1024.
+    pub fn sig_bytes(self) -> usize {
+        let sh = 10 - self.0;
+        (44 + 3 * (256usize >> sh) + 2 * (128usize >> sh) + 3 * (64usize >> sh)
+            + 2 * (16usize >> sh))
+            .saturating_sub(2 * (2usize >> sh) + 8 * (1usize >> sh))
+    }
+
+    /// Number of bytes available for the compressed `s2` inside
+    /// [`LogN::sig_bytes`] (total minus header byte and salt).
+    pub fn s2_bytes(self) -> usize {
+        self.sig_bytes() - 1 - SALT_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_constants_reproduced() {
+        assert_eq!(LogN::N512.n(), 512);
+        assert!((LogN::N512.sigma_min() - 1.2778336969128337).abs() < 1e-12);
+        assert!((LogN::N1024.sigma_min() - 1.298_280_334_344_292).abs() < 1e-12);
+        assert!((LogN::N512.sigma() - 165.7366171829776).abs() < 1e-9);
+        assert_eq!(LogN::N512.l2_bound(), 34_034_726);
+        assert_eq!(LogN::N1024.l2_bound(), 70_265_242);
+        assert_eq!(LogN::N512.sig_bytes(), 666);
+        assert_eq!(LogN::N1024.sig_bytes(), 1280);
+    }
+
+    #[test]
+    fn logn_validation() {
+        assert!(LogN::new(0).is_none());
+        assert!(LogN::new(11).is_none());
+        for l in 1..=10 {
+            let p = LogN::new(l).unwrap();
+            assert_eq!(p.n(), 1 << l);
+            assert!(p.sigma_fg() > 0.0);
+            assert!(p.sigma_min() < p.sigma_max());
+            assert!(p.l2_bound() > 0);
+            assert!(p.s2_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Small-coefficient integer polynomial helpers.
+
+use crate::ntt::{mq_from_signed, mq_to_signed, NttTables};
+use crate::params::Q;
+
+/// Squared Euclidean norm of signed coefficient vectors, saturating at
+/// `u64::MAX` (cannot overflow in practice; FALCON vectors are short).
+pub fn norm_sq(polys: &[&[i16]]) -> u64 {
+    let mut acc = 0u64;
+    for p in polys {
+        for &c in p.iter() {
+            acc = acc.saturating_add((c as i64 * c as i64) as u64);
+        }
+    }
+    acc
+}
+
+/// Centered product `a·b mod (x^n + 1, q)` of signed polynomials, using
+/// the NTT; the result coefficients are in `(-q/2, q/2]`.
+pub fn mul_mod_q_centered(a: &[i16], b: &[u16], tables: &NttTables) -> Vec<i16> {
+    let av: Vec<u32> = a.iter().map(|&v| mq_from_signed(v as i32)).collect();
+    let bv: Vec<u32> = b.iter().map(|&v| v as u32).collect();
+    tables
+        .poly_mul(&av, &bv)
+        .into_iter()
+        .map(|v| mq_to_signed(v) as i16)
+        .collect()
+}
+
+/// Reduces an unsigned `[0, q)` polynomial to centered signed form.
+pub fn center(v: &[u16]) -> Vec<i16> {
+    v.iter().map(|&x| mq_to_signed(x as u32) as i16).collect()
+}
+
+/// Lifts a signed polynomial to `[0, q)` representatives.
+pub fn to_unsigned(v: &[i16]) -> Vec<u16> {
+    v.iter().map(|&x| mq_from_signed(x as i32) as u16).collect()
+}
+
+/// True if all coefficients are within `(-q/2, q/2]`.
+pub fn is_centered(v: &[i16]) -> bool {
+    v.iter().all(|&x| {
+        let x = x as i32;
+        // q is odd: centered representatives are -(q-1)/2 ..= (q-1)/2.
+        x >= -((Q as i32 - 1) / 2) && x <= (Q as i32 - 1) / 2
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_sq(&[&[3, -4]]), 25);
+        assert_eq!(norm_sq(&[&[1, 1], &[2, 2]]), 10);
+        assert_eq!(norm_sq(&[&[]]), 0);
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        let v: Vec<i16> = vec![0, 1, -1, 6144, -6144, 37];
+        assert_eq!(center(&to_unsigned(&v)), v);
+        assert!(is_centered(&v));
+        assert!(!is_centered(&[-6145]));
+        assert!(is_centered(&[6144]));
+    }
+
+    #[test]
+    fn centered_ntt_multiplication() {
+        let t = NttTables::new(3);
+        // (1 - x)·(1 + x) = 1 - x² in Z[x]/(x^8+1).
+        let a: Vec<i16> = vec![1, -1, 0, 0, 0, 0, 0, 0];
+        let b: Vec<u16> = to_unsigned(&[1, 1, 0, 0, 0, 0, 0, 0]);
+        let r = mul_mod_q_centered(&a, &b, &t);
+        assert_eq!(r, vec![1, 0, -1, 0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,233 @@
+//! SHAKE256 extendable-output function (Keccak-f\[1600\]).
+//!
+//! Used by FALCON for hash-to-point and for seeding the signing PRNG.
+
+/// Keccak round constants.
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808A,
+    0x8000000080008000,
+    0x000000000000808B,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008A,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000A,
+    0x000000008000808B,
+    0x800000000000008B,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800A,
+    0x800000008000000A,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x + 5y]`.
+const RHO: [u32; 25] = [
+    0, 1, 62, 28, 27, 36, 44, 6, 55, 20, 3, 10, 43, 25, 39, 41, 45, 15, 21, 8, 18, 2, 61, 56, 14,
+];
+
+/// SHAKE256 rate in bytes.
+const RATE: usize = 136;
+
+fn keccak_f(a: &mut [u64; 25]) {
+    for &rc in RC.iter() {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] ^= d[x];
+            }
+        }
+        // ρ and π
+        let mut b = [0u64; 25];
+        for y in 0..5 {
+            for x in 0..5 {
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = a[x + 5 * y].rotate_left(RHO[x + 5 * y]);
+            }
+        }
+        // χ
+        for y in 0..5 {
+            for x in 0..5 {
+                a[x + 5 * y] = b[x + 5 * y] ^ (!b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+        // ι
+        a[0] ^= rc;
+    }
+}
+
+/// Incremental SHAKE256 context.
+///
+/// ```
+/// use falcon_sig::shake::Shake256;
+/// let mut xof = Shake256::new();
+/// xof.absorb(b"falcon");
+/// let mut out = [0u8; 8];
+/// xof.squeeze(&mut out);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shake256 {
+    state: [u64; 25],
+    /// Byte position inside the rate portion.
+    pos: usize,
+    /// True once `finalize` has switched the context to squeezing.
+    squeezing: bool,
+}
+
+impl Default for Shake256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Shake256 {
+    /// Creates an empty context in absorbing state.
+    pub fn new() -> Self {
+        Shake256 { state: [0; 25], pos: 0, squeezing: false }
+    }
+
+    /// One-shot helper: hash `data` and squeeze `out.len()` bytes.
+    pub fn digest(data: &[u8], out: &mut [u8]) {
+        let mut x = Shake256::new();
+        x.absorb(data);
+        x.squeeze(out);
+    }
+
+    /// Absorbs input bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after squeezing has started.
+    pub fn absorb(&mut self, data: &[u8]) {
+        assert!(!self.squeezing, "absorb after squeeze");
+        for &byte in data {
+            self.state[self.pos / 8] ^= (byte as u64) << (8 * (self.pos % 8));
+            self.pos += 1;
+            if self.pos == RATE {
+                keccak_f(&mut self.state);
+                self.pos = 0;
+            }
+        }
+    }
+
+    fn finalize(&mut self) {
+        // SHAKE domain separation (0x1F) and final bit of pad10*1.
+        self.state[self.pos / 8] ^= 0x1Fu64 << (8 * (self.pos % 8));
+        self.state[(RATE - 1) / 8] ^= 0x80u64 << (8 * ((RATE - 1) % 8));
+        keccak_f(&mut self.state);
+        self.pos = 0;
+        self.squeezing = true;
+    }
+
+    /// Squeezes output bytes; may be called repeatedly.
+    pub fn squeeze(&mut self, out: &mut [u8]) {
+        if !self.squeezing {
+            self.finalize();
+        }
+        for byte in out.iter_mut() {
+            if self.pos == RATE {
+                keccak_f(&mut self.state);
+                self.pos = 0;
+            }
+            *byte = (self.state[self.pos / 8] >> (8 * (self.pos % 8))) as u8;
+            self.pos += 1;
+        }
+    }
+
+    /// Squeezes a big-endian 16-bit word (the order used by FALCON's
+    /// hash-to-point).
+    pub fn squeeze_u16_be(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.squeeze(&mut b);
+        u16::from_be_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn empty_input_test_vector() {
+        // SHAKE256(""), first 32 bytes (FIPS 202 reference value).
+        let mut out = [0u8; 32];
+        Shake256::digest(b"", &mut out);
+        assert_eq!(
+            hex(&out),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
+        );
+    }
+
+    #[test]
+    fn abc_test_vector() {
+        // SHAKE256("abc"), first 32 bytes.
+        let mut out = [0u8; 32];
+        Shake256::digest(b"abc", &mut out);
+        assert_eq!(
+            hex(&out),
+            "483366601360a8771c6863080cc4114d8db44530f8f1e1ee4f94ea37e78b5739"
+        );
+    }
+
+    #[test]
+    fn incremental_absorb_matches_oneshot() {
+        let mut a = Shake256::new();
+        a.absorb(b"hello ");
+        a.absorb(b"world, this is a message long enough to cross nothing");
+        let mut out_a = [0u8; 64];
+        a.squeeze(&mut out_a);
+
+        let mut out_b = [0u8; 64];
+        Shake256::digest(b"hello world, this is a message long enough to cross nothing", &mut out_b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn incremental_squeeze_matches_oneshot() {
+        let mut a = Shake256::new();
+        a.absorb(b"squeeze me");
+        let mut chunks = [0u8; 300];
+        // Squeeze in irregular chunks across the rate boundary.
+        let (c1, rest) = chunks.split_at_mut(7);
+        let (c2, c3) = rest.split_at_mut(200);
+        a.squeeze(c1);
+        a.squeeze(c2);
+        a.squeeze(c3);
+
+        let mut whole = [0u8; 300];
+        Shake256::digest(b"squeeze me", &mut whole);
+        assert_eq!(chunks, whole);
+    }
+
+    #[test]
+    fn long_input_crosses_rate() {
+        let data = vec![0xA5u8; 1000];
+        let mut out = [0u8; 16];
+        Shake256::digest(&data, &mut out);
+        // Determinism check and non-triviality.
+        let mut out2 = [0u8; 16];
+        Shake256::digest(&data, &mut out2);
+        assert_eq!(out, out2);
+        assert_ne!(out, [0u8; 16]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Signature verification.
+//!
+//! Accepts `(r, s2)` over `msg` iff, with `c = HashToPoint(r ‖ msg)` and
+//! `s1 = c − s2·h mod q` (centered), the vector `(s1, s2)` is short:
+//! `‖s1‖² + ‖s2‖² ≤ ⌊β²⌋`.
+
+use crate::hash::hash_to_point;
+use crate::keygen::VerifyingKey;
+use crate::ntt::NttTables;
+use crate::poly::{mul_mod_q_centered, norm_sq};
+use crate::sign::Signature;
+
+/// Verifies `sig` on `msg` under `vk`.
+pub fn verify(vk: &VerifyingKey, msg: &[u8], sig: &Signature) -> bool {
+    let logn = vk.logn();
+    if sig.logn() != logn {
+        return false;
+    }
+    let n = logn.n();
+    let s2 = sig.s2();
+    if s2.len() != n {
+        return false;
+    }
+    let c = hash_to_point(sig.salt(), msg, n);
+    let tables = NttTables::new(logn.logn());
+    let s2h = mul_mod_q_centered(s2, vk.h(), &tables);
+    let s1: Vec<i16> = c
+        .iter()
+        .zip(&s2h)
+        .map(|(&ci, &p)| {
+            crate::ntt::mq_to_signed(crate::ntt::mq_from_signed(ci as i32 - p as i32)) as i16
+        })
+        .collect();
+    norm_sq(&[&s1, s2]) <= logn.l2_bound()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::KeyPair;
+    use crate::params::LogN;
+    use crate::rng::Prng;
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut rng = Prng::from_seed(b"verify tamper");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let sig = kp.signing_key().sign(b"payload", &mut rng);
+        assert!(kp.verifying_key().verify(b"payload", &sig));
+
+        // Flip one coefficient: the vector is no longer a lattice point
+        // close to c, so s1 blows up mod q.
+        let mut s2 = sig.s2().to_vec();
+        s2[0] += 1;
+        let forged = Signature::from_parts(sig.logn(), *sig.salt(), s2).unwrap();
+        assert!(!kp.verifying_key().verify(b"payload", &forged));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = Prng::from_seed(b"verify wrongkey");
+        let kp1 = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let kp2 = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let sig = kp1.signing_key().sign(b"m", &mut rng);
+        assert!(!kp2.verifying_key().verify(b"m", &sig));
+    }
+
+    #[test]
+    fn salt_binding() {
+        let mut rng = Prng::from_seed(b"verify salt");
+        let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let sig = kp.signing_key().sign(b"m", &mut rng);
+        let mut salt = *sig.salt();
+        salt[0] ^= 1;
+        let moved = Signature::from_parts(sig.logn(), salt, sig.s2().to_vec()).unwrap();
+        assert!(!kp.verifying_key().verify(b"m", &moved));
+    }
+
+    #[test]
+    fn parameter_mismatch_rejected() {
+        let mut rng = Prng::from_seed(b"verify logn");
+        let kp4 = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+        let kp5 = KeyPair::generate(LogN::new(5).unwrap(), &mut rng);
+        let sig = kp4.signing_key().sign(b"m", &mut rng);
+        assert!(!kp5.verifying_key().verify(b"m", &sig));
+    }
+}

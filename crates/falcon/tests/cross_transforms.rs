@@ -1,0 +1,107 @@
+//! Cross-consistency of the two transform stacks.
+//!
+//! The floating-point FFT (signing path) and the integer NTT
+//! (verification path) implement the same ring `Z[x]/(x^n + 1)`; products
+//! computed through either must agree. This is the algebraic glue that
+//! makes a signature produced through `fpr` arithmetic verify through
+//! modular arithmetic.
+
+use falcon_fpr::Fpr;
+use falcon_sig::fft::{fft, ifft, poly_mul_fft};
+use falcon_sig::ntt::{mq_from_signed, mq_to_signed, NttTables};
+use falcon_sig::rng::Prng;
+use falcon_sig::{KeyPair, LogN};
+
+/// Negacyclic integer product via the fpr FFT, rounded back to integers.
+fn product_via_fft(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut fa: Vec<Fpr> = a.iter().map(|&v| Fpr::from_i64(v)).collect();
+    let mut fb: Vec<Fpr> = b.iter().map(|&v| Fpr::from_i64(v)).collect();
+    fft(&mut fa);
+    fft(&mut fb);
+    poly_mul_fft(&mut fa, &fb);
+    ifft(&mut fa);
+    fa.iter().map(|x| x.rint()).collect()
+}
+
+/// The same product via the NTT (exact modulo q).
+fn product_via_ntt(a: &[i64], b: &[i64], tables: &NttTables) -> Vec<i64> {
+    let av: Vec<u32> = a.iter().map(|&v| mq_from_signed(v as i32)).collect();
+    let bv: Vec<u32> = b.iter().map(|&v| mq_from_signed(v as i32)).collect();
+    tables.poly_mul(&av, &bv).into_iter().map(|v| mq_to_signed(v) as i64).collect()
+}
+
+#[test]
+fn fft_and_ntt_products_agree_mod_q() {
+    let q = 12289i64;
+    for logn in [2u32, 4, 6, 8] {
+        let n = 1usize << logn;
+        let tables = NttTables::new(logn);
+        let a: Vec<i64> = (0..n).map(|i| ((i as i64 * 37 + 11) % 53) - 26).collect();
+        let b: Vec<i64> = (0..n).map(|i| ((i as i64 * 91 + 3) % 47) - 23).collect();
+        let via_fft = product_via_fft(&a, &b);
+        let via_ntt = product_via_ntt(&a, &b, &tables);
+        for i in 0..n {
+            assert_eq!(
+                via_fft[i].rem_euclid(q),
+                via_ntt[i].rem_euclid(q),
+                "logn={logn} i={i}: fft {} vs ntt {}",
+                via_fft[i],
+                via_ntt[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn fft_product_is_exact_for_small_inputs() {
+    // With coefficients this small the fpr FFT's rounded product is the
+    // exact integer product (double precision has >30 bits of headroom).
+    let n = 64usize;
+    let a: Vec<i64> = (0..n).map(|i| (i as i64 % 7) - 3).collect();
+    let b: Vec<i64> = (0..n).map(|i| (i as i64 % 5) - 2).collect();
+    let via_fft = product_via_fft(&a, &b);
+    // Schoolbook oracle.
+    let mut want = vec![0i64; n];
+    for i in 0..n {
+        for j in 0..n {
+            let k = (i + j) % n;
+            let s = if i + j >= n { -1 } else { 1 };
+            want[k] += s * a[i] * b[j];
+        }
+    }
+    assert_eq!(via_fft, want);
+}
+
+#[test]
+fn public_key_relation_holds_through_both_stacks() {
+    // h·f ≡ g (mod q): h comes from NTT arithmetic, while the signing
+    // basis uses the FFT of the same polynomials — check both views.
+    let mut rng = Prng::from_seed(b"cross transform key");
+    for logn in [3u32, 5] {
+        let kp = KeyPair::generate(LogN::new(logn).unwrap(), &mut rng);
+        let sk = kp.signing_key();
+        let f: Vec<i64> = sk.f().iter().map(|&v| v as i64).collect();
+        let h: Vec<i64> = sk.h().iter().map(|&v| v as i64).collect();
+        let tables = NttTables::new(logn);
+        let hf = product_via_ntt(&h, &f, &tables);
+        let g: Vec<i64> = sk.g().iter().map(|&v| v as i64).collect();
+        assert_eq!(hf, g, "logn={logn}");
+        // And through the FFT with post-hoc reduction.
+        let hf_fft = product_via_fft(&h, &f);
+        for i in 0..f.len() {
+            assert_eq!(hf_fft[i].rem_euclid(12289), g[i].rem_euclid(12289), "logn={logn} i={i}");
+        }
+    }
+}
+
+#[test]
+fn sign_verify_across_all_test_degrees() {
+    let mut rng = Prng::from_seed(b"cross degrees");
+    for logn in 1..=6u32 {
+        let kp = KeyPair::generate(LogN::new(logn).unwrap(), &mut rng);
+        let msg = format!("degree 2^{logn}");
+        let sig = kp.signing_key().sign(msg.as_bytes(), &mut rng);
+        assert!(kp.verifying_key().verify(msg.as_bytes(), &sig), "logn={logn}");
+        assert!(!kp.verifying_key().verify(b"other", &sig), "logn={logn}");
+    }
+}

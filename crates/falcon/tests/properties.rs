@@ -1,0 +1,175 @@
+//! Property-based tests for the FALCON substrates.
+
+use falcon_sig::codec::{compress, decompress};
+use falcon_sig::fft::{fft, ifft, poly_add, poly_mul_fft};
+use falcon_sig::ntt::{mq_add, mq_mul, NttTables};
+use falcon_sig::params::Q;
+use falcon_sig::zint::Zint;
+use falcon_fpr::Fpr;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- zint vs i128 oracle ----------------
+
+    #[test]
+    fn zint_ring_ops_match_i128(a in any::<i64>(), b in any::<i64>(), sh in 0u32..80) {
+        let (za, zb) = (Zint::from_i64(a), Zint::from_i64(b));
+        prop_assert_eq!(za.add(&zb).to_i64(), a.checked_add(b));
+        prop_assert_eq!(za.sub(&zb).to_i64(), a.checked_sub(b));
+        let p = (a as i128) * (b as i128);
+        if let Ok(p64) = i64::try_from(p) {
+            prop_assert_eq!(za.mul(&zb).to_i64(), Some(p64));
+        }
+        // shl/shr inverse on magnitudes.
+        prop_assert_eq!(za.shl(sh).shr(sh).to_i64(), Some(a));
+    }
+
+    #[test]
+    fn zint_divmod_invariant(a in 0i64..i64::MAX, b in 1i64..i64::MAX) {
+        let (q, r) = Zint::from_i64(a).divmod(&Zint::from_i64(b));
+        prop_assert_eq!(q.to_i64(), Some(a / b));
+        prop_assert_eq!(r.to_i64(), Some(a % b));
+    }
+
+    #[test]
+    fn zint_xgcd_bezout_holds(a in 0i64..1_000_000, b in 0i64..1_000_000) {
+        let (g, u, v) = Zint::xgcd(&Zint::from_i64(a), &Zint::from_i64(b));
+        let lhs = Zint::from_i64(a).mul(&u).add(&Zint::from_i64(b).mul(&v));
+        prop_assert_eq!(lhs, g);
+    }
+
+    // ---------------- signature codec ----------------
+
+    #[test]
+    fn codec_roundtrips_any_valid_vector(s in prop::collection::vec(-2047i16..=2047, 1..128)) {
+        let budget = 2 * s.len() + 32;
+        let bytes = compress(&s, budget).expect("generous budget");
+        prop_assert_eq!(bytes.len(), budget);
+        prop_assert_eq!(decompress(&bytes, s.len()), Some(s));
+    }
+
+    #[test]
+    fn codec_rejects_bitflips_or_preserves_values(
+        s in prop::collection::vec(-400i16..=400, 4..32),
+        flip_byte in 0usize..16,
+        flip_bit in 0u8..8,
+    ) {
+        let budget = 2 * s.len() + 8;
+        let mut bytes = compress(&s, budget).expect("fits");
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        // A flipped encoding either fails to parse or parses to some
+        // other vector — but never panics.
+        let _ = decompress(&bytes, s.len());
+    }
+
+    // ---------------- FFT algebra ----------------
+
+    #[test]
+    fn fft_is_linear(
+        a in prop::collection::vec(-100i64..=100, 8usize..=8),
+        b in prop::collection::vec(-100i64..=100, 8usize..=8),
+    ) {
+        let fa: Vec<Fpr> = a.iter().map(|&v| Fpr::from_i64(v)).collect();
+        let fb: Vec<Fpr> = b.iter().map(|&v| Fpr::from_i64(v)).collect();
+        let mut sum: Vec<Fpr> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        fft(&mut sum);
+        let mut ta = fa.clone();
+        let mut tb = fb.clone();
+        fft(&mut ta);
+        fft(&mut tb);
+        poly_add(&mut ta, &tb);
+        for (x, y) in sum.iter().zip(&ta) {
+            prop_assert!((x.to_f64() - y.to_f64()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_is_commutative(
+        a in prop::collection::vec(-50i64..=50, 16usize..=16),
+        b in prop::collection::vec(-50i64..=50, 16usize..=16),
+    ) {
+        let mut fa: Vec<Fpr> = a.iter().map(|&v| Fpr::from_i64(v)).collect();
+        let mut fb: Vec<Fpr> = b.iter().map(|&v| Fpr::from_i64(v)).collect();
+        fft(&mut fa);
+        fft(&mut fb);
+        let mut ab = fa.clone();
+        poly_mul_fft(&mut ab, &fb);
+        let mut ba = fb.clone();
+        poly_mul_fft(&mut ba, &fa);
+        ifft(&mut ab);
+        ifft(&mut ba);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x.to_f64() - y.to_f64()).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn fft_parseval(coeffs in prop::collection::vec(-100i64..=100, 32usize..=32)) {
+        let mut f: Vec<Fpr> = coeffs.iter().map(|&v| Fpr::from_i64(v)).collect();
+        let time_norm: f64 = coeffs.iter().map(|&v| (v * v) as f64).sum();
+        fft(&mut f);
+        let hn = f.len() / 2;
+        let freq_norm: f64 = (0..hn)
+            .map(|j| {
+                let re = f[j].to_f64();
+                let im = f[j + hn].to_f64();
+                re * re + im * im
+            })
+            .sum::<f64>() * 2.0 / f.len() as f64;
+        prop_assert!((time_norm - freq_norm).abs() < 1e-6 * (1.0 + time_norm));
+    }
+
+    // ---------------- NTT algebra ----------------
+
+    #[test]
+    fn ntt_is_additive_homomorphism(
+        a in prop::collection::vec(0u32..Q, 16usize..=16),
+        b in prop::collection::vec(0u32..Q, 16usize..=16),
+    ) {
+        let t = NttTables::new(4);
+        let mut sum: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| mq_add(x, y)).collect();
+        t.ntt(&mut sum);
+        let mut ta = a.clone();
+        let mut tb = b.clone();
+        t.ntt(&mut ta);
+        t.ntt(&mut tb);
+        let want: Vec<u32> = ta.iter().zip(&tb).map(|(&x, &y)| mq_add(x, y)).collect();
+        prop_assert_eq!(sum, want);
+    }
+
+    #[test]
+    fn ntt_pointwise_is_ring_multiplication(
+        a in prop::collection::vec(0u32..Q, 8usize..=8),
+        c in 0u32..Q,
+    ) {
+        // Multiplying by the constant polynomial c scales every
+        // coefficient by c.
+        let t = NttTables::new(3);
+        let mut cp = vec![0u32; 8];
+        cp[0] = c;
+        let prod = t.poly_mul(&a, &cp);
+        let want: Vec<u32> = a.iter().map(|&x| mq_mul(x, c)).collect();
+        prop_assert_eq!(prod, want);
+    }
+
+    // ---------------- fpr/f64 interop on FALCON's value range ----------
+
+    #[test]
+    fn fpr_fma_chain_matches_f64(vals in prop::collection::vec(-1.0e6f64..1.0e6, 2..20)) {
+        // An accumulation chain like the FFT butterflies.
+        let mut acc_fpr = Fpr::ZERO;
+        let mut acc_f64 = 0f64;
+        for (i, &v) in vals.iter().enumerate() {
+            let w = Fpr::from(v);
+            if i % 2 == 0 {
+                acc_fpr += w * w;
+                acc_f64 += v * v;
+            } else {
+                acc_fpr -= w * Fpr::from(0.5);
+                acc_f64 -= v * 0.5;
+            }
+        }
+        prop_assert_eq!(acc_fpr.to_bits(), acc_f64.to_bits());
+    }
+}

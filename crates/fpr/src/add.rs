@@ -1,0 +1,120 @@
+//! Emulated addition and subtraction.
+
+use crate::repr::Fpr;
+use core::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+// The inherent `add`/`sub` mirror the reference implementation's API;
+// the std operator traits are implemented below in terms of them.
+#[allow(clippy::should_implement_trait)]
+impl Fpr {
+    /// Emulated addition with round-to-nearest-even.
+    ///
+    /// Matches the FALCON reference semantics: operands are aligned with a
+    /// sticky bit absorbing everything shifted out, the result is
+    /// renormalised and rounded, and subnormal results flush to zero.
+    pub fn add(self, rhs: Fpr) -> Fpr {
+        // Order operands so that |x| >= |y|; when magnitudes are equal,
+        // prefer the non-negative one first so that exact cancellation
+        // yields +0 (IEEE round-to-nearest behaviour).
+        let (x, y) = {
+            let ax = self.0 & !(1u64 << 63);
+            let ay = rhs.0 & !(1u64 << 63);
+            if ax < ay || (ax == ay && self.sign_bit() == 1) {
+                (rhs, self)
+            } else {
+                (self, rhs)
+            }
+        };
+
+        let sx = x.sign_bit();
+        let sy = y.sign_bit();
+
+        // Scale mantissas up by 8 (three guard bits) and express both
+        // values as m * 2^(e): a zero exponent field means the value is
+        // zero, so the implicit bit is only set for nonzero operands.
+        let exf = x.exponent_bits() as i32;
+        let eyf = y.exponent_bits() as i32;
+        let xu = if exf == 0 { 0 } else { (x.mantissa_bits() | (1u64 << 52)) << 3 };
+        let mut yu = if eyf == 0 { 0 } else { (y.mantissa_bits() | (1u64 << 52)) << 3 };
+        let ex = exf - 1078;
+        let ey = eyf - 1078;
+
+        // Align y to x's exponent. Beyond 59 positions y cannot influence
+        // the rounded result (x's guard bits fully decide it), so it is
+        // dropped entirely, as in the reference implementation.
+        let cc = ex - ey;
+        debug_assert!(cc >= 0);
+        if cc > 59 {
+            yu = 0;
+        } else if cc > 0 {
+            let mask = (1u64 << cc) - 1;
+            let sticky = u64::from(yu & mask != 0);
+            yu = (yu >> cc) | sticky;
+        }
+
+        // Same sign: magnitude addition; opposite signs: subtraction
+        // (non-negative because |x| >= |y|). The result sign is x's.
+        let zu = if sx == sy { xu + yu } else { xu - yu };
+
+        if zu == 0 {
+            return Fpr((sx as u64) << 63);
+        }
+
+        // Renormalise to a 55-bit mantissa (top bit at position 54),
+        // folding right-shifted bits into the sticky position.
+        let top = 63 - zu.leading_zeros() as i32;
+        let (m, e) = if top > 54 {
+            let k = (top - 54) as u32;
+            let mask = (1u64 << k) - 1;
+            (((zu >> k) | u64::from(zu & mask != 0)), ex + top - 54)
+        } else {
+            (zu << (54 - top) as u32, ex + top - 54)
+        };
+
+        Fpr::build(sx, e, m)
+    }
+
+    /// Emulated subtraction: `self - rhs`.
+    #[inline]
+    pub fn sub(self, rhs: Fpr) -> Fpr {
+        self.add(rhs.neg())
+    }
+}
+
+impl Add for Fpr {
+    type Output = Fpr;
+    #[inline]
+    fn add(self, rhs: Fpr) -> Fpr {
+        Fpr::add(self, rhs)
+    }
+}
+
+impl Sub for Fpr {
+    type Output = Fpr;
+    #[inline]
+    fn sub(self, rhs: Fpr) -> Fpr {
+        Fpr::sub(self, rhs)
+    }
+}
+
+impl Neg for Fpr {
+    type Output = Fpr;
+    #[inline]
+    fn neg(self) -> Fpr {
+        Fpr::neg(self)
+    }
+}
+
+impl AddAssign for Fpr {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fpr) {
+        *self = Fpr::add(*self, rhs);
+    }
+}
+
+impl SubAssign for Fpr {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Fpr) {
+        *self = Fpr::sub(*self, rhs);
+    }
+}

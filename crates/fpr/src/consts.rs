@@ -1,0 +1,34 @@
+//! Named floating-point constants used across FALCON.
+
+use crate::repr::Fpr;
+
+/// Natural logarithm of two.
+pub const LN2: Fpr = Fpr::from_bits(0x3FE6_2E42_FEFA_39EF);
+
+/// `1 / ln 2`.
+pub const INV_LN2: Fpr = Fpr::from_bits(0x3FF7_1547_652B_82FE);
+
+/// `ln 2 / 2` — the log-scale half used by `fpr_exp` style splits.
+pub const LN2_HALF: Fpr = Fpr::from_bits(0x3FD6_2E42_FEFA_39EF);
+
+/// The base sampler's standard deviation `σ0 = 1.8205` (also the global
+/// maximum standard deviation `σ_max` accepted by `SamplerZ`).
+pub const SIGMA0: Fpr = Fpr::from_bits(0x3FFD_20C4_9BA5_E354);
+
+/// `1 / (2 σ0²)` with `σ0 = 1.8205`.
+pub const INV_2SQRSIGMA0: Fpr = Fpr::from_bits(0x3FC3_4F8B_C183_BBC2);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_bit_patterns() {
+        assert_eq!(LN2.to_f64(), core::f64::consts::LN_2);
+        assert_eq!(INV_LN2.to_f64(), 1.0 / core::f64::consts::LN_2);
+        assert_eq!(LN2_HALF.to_f64(), core::f64::consts::LN_2 / 2.0);
+        assert_eq!(SIGMA0.to_f64(), 1.8205);
+        let want = 1.0 / (2.0 * 1.8205 * 1.8205);
+        assert!((INV_2SQRSIGMA0.to_f64() - want).abs() < 1e-16);
+    }
+}

@@ -1,0 +1,194 @@
+//! Conversions between `Fpr`, integers and host `f64`.
+
+use crate::repr::Fpr;
+
+impl Fpr {
+    /// Converts a signed 64-bit integer exactly (rounding to nearest-even
+    /// when the magnitude exceeds 53 bits).
+    ///
+    /// ```
+    /// use falcon_fpr::Fpr;
+    /// assert_eq!(Fpr::from_i64(-12289).to_f64(), -12289.0);
+    /// ```
+    #[inline]
+    pub fn from_i64(i: i64) -> Fpr {
+        Fpr::scaled(i, 0)
+    }
+
+    /// Builds `i * 2^sc`, rounding to nearest-even if needed.
+    ///
+    /// This is the reference implementation's `fpr_scaled`, used when
+    /// loading fixed-point lattice values.
+    pub fn scaled(i: i64, sc: i32) -> Fpr {
+        if i == 0 {
+            return Fpr::ZERO;
+        }
+        let s = u32::from(i < 0);
+        let a = i.unsigned_abs();
+        let top = 63 - a.leading_zeros() as i32;
+        // Normalise the magnitude to a 55-bit mantissa (top bit at 54).
+        let (m, e) = if top <= 54 {
+            (a << (54 - top) as u32, sc + top - 54)
+        } else {
+            let k = (top - 54) as u32;
+            let mask = (1u64 << k) - 1;
+            ((a >> k) | u64::from(a & mask != 0), sc + top - 54)
+        };
+        Fpr::build(s, e, m)
+    }
+
+    /// Rounds to the nearest integer, ties to even.
+    ///
+    /// The value must fit in `i64`; FALCON only rounds small lattice
+    /// coordinates.
+    pub fn rint(self) -> i64 {
+        if self.is_zero() {
+            return 0;
+        }
+        let (s, exf, m) = self.unpack();
+        let e = exf - 1075; // value = m * 2^e
+        let mag = if e >= 0 {
+            debug_assert!(e <= 10, "fpr_rint overflow");
+            (m << e) as i64
+        } else {
+            let k = -e as u32;
+            if k >= 54 {
+                0
+            } else {
+                let low = m & ((1u64 << k) - 1);
+                let half = 1u64 << (k - 1);
+                let mut r = m >> k;
+                if low > half || (low == half && r & 1 == 1) {
+                    r += 1;
+                }
+                r as i64
+            }
+        };
+        if s != 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Rounds toward negative infinity.
+    pub fn floor(self) -> i64 {
+        if self.is_zero() {
+            return 0;
+        }
+        let (s, exf, m) = self.unpack();
+        let e = exf - 1075;
+        if e >= 0 {
+            debug_assert!(e <= 10, "fpr_floor overflow");
+            let v = (m << e) as i64;
+            return if s != 0 { -v } else { v };
+        }
+        let k = -e as u32;
+        let (q, rem) = if k >= 54 { (0, true) } else { (m >> k, m & ((1u64 << k) - 1) != 0) };
+        if s != 0 {
+            -(q as i64) - i64::from(rem)
+        } else {
+            q as i64
+        }
+    }
+
+    /// Rounds toward zero.
+    pub fn trunc(self) -> i64 {
+        if self.is_zero() {
+            return 0;
+        }
+        let (s, exf, m) = self.unpack();
+        let e = exf - 1075;
+        let mag = if e >= 0 {
+            debug_assert!(e <= 10, "fpr_trunc overflow");
+            (m << e) as i64
+        } else {
+            let k = -e as u32;
+            if k >= 54 {
+                0
+            } else {
+                (m >> k) as i64
+            }
+        };
+        if s != 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Truncating conversion to unsigned 2^63 fixed point: `⌊self · 2^63⌋`
+    /// for `self` in `[0, 1)`.
+    ///
+    /// Used by the exponential approximation in the Gaussian sampler.
+    pub(crate) fn to_fixed63(self) -> u64 {
+        if self.is_zero() {
+            return 0;
+        }
+        debug_assert_eq!(self.sign_bit(), 0);
+        let (_, exf, m) = self.unpack();
+        let e = exf - 1075 + 63; // self * 2^63 = m * 2^e
+        debug_assert!(e <= 10, "to_fixed63 operand not below 1");
+        if e >= 0 {
+            m << e
+        } else {
+            let k = -e as u32;
+            if k >= 54 {
+                0
+            } else {
+                m >> k
+            }
+        }
+    }
+
+    /// Reinterprets a host `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if given an infinity or NaN (values outside
+    /// the emulated domain). Subnormals flush to (signed) zero.
+    pub fn from_f64(v: f64) -> Fpr {
+        debug_assert!(v.is_finite(), "fpr cannot represent {v}");
+        let bits = v.to_bits();
+        if (bits >> 52) & 0x7FF == 0 {
+            // Flush subnormals, keep the sign.
+            Fpr(bits & (1u64 << 63))
+        } else {
+            Fpr(bits)
+        }
+    }
+
+    /// Converts to a host `f64` (always exact: the bit layouts coincide).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from_bits(self.0)
+    }
+}
+
+impl From<f64> for Fpr {
+    #[inline]
+    fn from(v: f64) -> Fpr {
+        Fpr::from_f64(v)
+    }
+}
+
+impl From<Fpr> for f64 {
+    #[inline]
+    fn from(v: Fpr) -> f64 {
+        v.to_f64()
+    }
+}
+
+impl From<i64> for Fpr {
+    #[inline]
+    fn from(v: i64) -> Fpr {
+        Fpr::from_i64(v)
+    }
+}
+
+impl From<i32> for Fpr {
+    #[inline]
+    fn from(v: i32) -> Fpr {
+        Fpr::from_i64(v as i64)
+    }
+}

@@ -1,0 +1,58 @@
+//! Emulated division and reciprocal.
+
+use crate::repr::Fpr;
+use core::ops::{Div, DivAssign};
+
+// Inherent `div` mirrors the reference API; `Div` is implemented below.
+#[allow(clippy::should_implement_trait)]
+impl Fpr {
+    /// Emulated division with round-to-nearest-even.
+    ///
+    /// The divisor must be nonzero (FALCON never divides by zero); in
+    /// debug builds a zero divisor panics, in release the result is
+    /// unspecified, matching the reference implementation's contract.
+    pub fn div(self, rhs: Fpr) -> Fpr {
+        debug_assert!(!rhs.is_zero(), "fpr division by zero");
+        let (sx, ex, xu) = self.unpack();
+        let (sy, ey, yu) = rhs.unpack();
+        let s = sx ^ sy;
+        if ex == 0 {
+            return Fpr((s as u64) << 63);
+        }
+
+        // 56-bit quotient of the 53-bit mantissas, with the remainder
+        // folded into a sticky bit.
+        let num = (xu as u128) << 55;
+        let den = yu as u128;
+        let q = (num / den) as u64;
+        let sticky = u64::from(!num.is_multiple_of(den));
+
+        let (m, e) = if q >> 55 != 0 {
+            (((q >> 1) | (q & 1)) | sticky, ex - ey - 54)
+        } else {
+            (q | sticky, ex - ey - 55)
+        };
+        Fpr::build(s, e, m)
+    }
+
+    /// Reciprocal `1 / self`.
+    #[inline]
+    pub fn inv(self) -> Fpr {
+        Fpr::ONE.div(self)
+    }
+}
+
+impl Div for Fpr {
+    type Output = Fpr;
+    #[inline]
+    fn div(self, rhs: Fpr) -> Fpr {
+        Fpr::div(self, rhs)
+    }
+}
+
+impl DivAssign for Fpr {
+    #[inline]
+    fn div_assign(&mut self, rhs: Fpr) {
+        *self = Fpr::div(*self, rhs);
+    }
+}

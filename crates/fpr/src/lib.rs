@@ -1,0 +1,48 @@
+//! FALCON's emulated floating-point arithmetic ("fpr", FPEMU semantics).
+//!
+//! FALCON approximates IEEE-754 double precision with a custom 64-bit
+//! format: 1 sign bit, 11 exponent bits, 52 mantissa bits — the IEEE-754
+//! bit layout — but implemented with pure integer arithmetic so it behaves
+//! identically on every platform:
+//!
+//! * rounding is round-to-nearest, ties-to-even, realised with sticky bits;
+//! * subnormal results are flushed to zero;
+//! * infinities and NaNs never occur on FALCON's value ranges and are not
+//!   representable results.
+//!
+//! The multiplication routine decomposes exactly as in the reference
+//! implementation (and as attacked by the *Falcon Down* paper, DAC 2021):
+//! the 53-bit mantissas (52 stored bits plus the implicit leading one) are
+//! split into a **high 28-bit** and a **low 25-bit** half, four schoolbook
+//! partial products are formed, accumulated with carry additions, the
+//! below-precision "sticky" bits are folded into the lowest kept bit, and
+//! the 106-bit product is rounded back to 53 bits.
+//!
+//! Every micro-operation of the multiplication can be reported to a
+//! [`MulObserver`], which is how the side-channel simulator in
+//! `falcon-emsim` derives data-dependent leakage from real executions.
+//!
+//! ```
+//! use falcon_fpr::Fpr;
+//!
+//! let x = Fpr::from_i64(3);
+//! let y = Fpr::from(0.5_f64);
+//! assert_eq!((x * y).to_f64(), 1.5);
+//! ```
+
+mod add;
+mod consts;
+mod cvt;
+mod div;
+mod exp;
+mod mul;
+mod observe;
+mod repr;
+mod sqrt;
+
+pub use consts::*;
+pub use observe::{Lane, MulObserver, MulStep, NullObserver, RecordingObserver};
+pub use repr::Fpr;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,121 @@
+//! Emulated multiplication — the operation attacked by *Falcon Down*.
+//!
+//! The dataflow follows the reference FPEMU routine and the paper's
+//! Figure 2: 53-bit mantissas are split into 25-bit low and 28-bit high
+//! halves, four schoolbook partial products are accumulated in 25-bit
+//! limbs, sub-precision bits fold into a sticky bit, and the product is
+//! renormalised; the exponent is an 11-bit addition with the mantissa
+//! carry, and the sign is a single XOR.
+
+use crate::observe::{Lane, MulObserver, MulStep, NullObserver};
+use crate::repr::Fpr;
+use core::ops::{Mul, MulAssign};
+
+/// Mask of a 25-bit limb.
+const LIMB: u32 = 0x1FF_FFFF;
+
+// Inherent `mul` mirrors the reference API; `Mul` is implemented below.
+#[allow(clippy::should_implement_trait)]
+impl Fpr {
+    /// Emulated multiplication with round-to-nearest-even.
+    #[inline]
+    pub fn mul(self, rhs: Fpr) -> Fpr {
+        self.mul_observed(rhs, &mut NullObserver)
+    }
+
+    /// Emulated multiplication reporting every micro-operation to `obs`.
+    ///
+    /// The arithmetic result is identical to [`Fpr::mul`]; the observer
+    /// only taps the intermediates. Note that, like the reference code,
+    /// the full mantissa pipeline executes even when an operand is zero —
+    /// the zero is applied at pack time — so the leakage of the observed
+    /// device does not short-circuit on special values.
+    pub fn mul_observed<O: MulObserver>(self, rhs: Fpr, obs: &mut O) -> Fpr {
+        obs.record(MulStep::OperandLoad { x: self.0, y: rhs.0 });
+
+        let (sx, ex, xu) = self.unpack();
+        let (sy, ey, yu) = rhs.unpack();
+
+        // Mantissa split: low 25 bits and high 28 bits of the 53-bit
+        // mantissa (implicit leading one included).
+        let x0 = (xu as u32) & LIMB;
+        let x1 = (xu >> 25) as u32;
+        let y0 = (yu as u32) & LIMB;
+        let y1 = (yu >> 25) as u32;
+        obs.record(MulStep::MantissaSplit { x_lo: x0, x_hi: x1, y_lo: y0, y_hi: y1 });
+
+        // Schoolbook 53×53 → 106-bit product in 25-bit limbs z0, z1 and a
+        // 56-bit top accumulator zu, with explicit carry additions (the
+        // "intermediate additions" targeted by the prune phase).
+        let w_ll = (x0 as u64) * (y0 as u64);
+        obs.record(MulStep::PartialProduct { lane: Lane::LoLo, value: w_ll });
+        let z0 = (w_ll as u32) & LIMB;
+        let mut z1 = (w_ll >> 25) as u32;
+
+        let w_lh = (x0 as u64) * (y1 as u64);
+        obs.record(MulStep::PartialProduct { lane: Lane::LoHi, value: w_lh });
+        z1 += (w_lh as u32) & LIMB;
+        let mut z2 = (w_lh >> 25) as u32;
+        obs.record(MulStep::IntermediateAdd { lane: Lane::LoHi, value: z1 as u64 });
+
+        let w_hl = (x1 as u64) * (y0 as u64);
+        obs.record(MulStep::PartialProduct { lane: Lane::HiLo, value: w_hl });
+        z1 += (w_hl as u32) & LIMB;
+        z2 += (w_hl >> 25) as u32;
+        obs.record(MulStep::IntermediateAdd { lane: Lane::HiLo, value: z1 as u64 });
+
+        let w_hh = (x1 as u64) * (y1 as u64);
+        obs.record(MulStep::PartialProduct { lane: Lane::HiHi, value: w_hh });
+        z2 += z1 >> 25;
+        let z1 = z1 & LIMB;
+        let mut zu = w_hh + z2 as u64;
+        obs.record(MulStep::IntermediateAdd { lane: Lane::HiHi, value: zu });
+
+        // Fold the two discarded limbs (the "unused, sticky bits") into
+        // the lowest kept bit.
+        zu |= u64::from((z0 | z1) != 0);
+        obs.record(MulStep::StickyFold { value: zu });
+
+        // zu is in [2^54, 2^56); renormalise to [2^54, 2^55), keeping a
+        // sticky bit, and remember the carry for the exponent.
+        let carry = (zu >> 55) as u32;
+        let m = if carry != 0 { (zu >> 1) | (zu & 1) } else { zu };
+        obs.record(MulStep::Normalize { mantissa: m });
+
+        // Exponent addition (biased fields, constant re-bias, plus the
+        // mantissa normalisation carry).
+        let e = ex + ey - 2100 + carry as i32;
+        obs.record(MulStep::ExponentAdd { value: e as u32 });
+
+        // Sign computation.
+        let s = sx ^ sy;
+        obs.record(MulStep::SignXor { value: s });
+
+        // A zero operand (exponent field 0) forces a signed-zero result.
+        let m = if ex == 0 || ey == 0 { 0 } else { m };
+        let r = Fpr::build(s, e, m);
+        obs.record(MulStep::Pack { result: r.to_bits() });
+        r
+    }
+
+    /// Squares the value.
+    #[inline]
+    pub fn sqr(self) -> Fpr {
+        self.mul(self)
+    }
+}
+
+impl Mul for Fpr {
+    type Output = Fpr;
+    #[inline]
+    fn mul(self, rhs: Fpr) -> Fpr {
+        Fpr::mul(self, rhs)
+    }
+}
+
+impl MulAssign for Fpr {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Fpr) {
+        *self = Fpr::mul(*self, rhs);
+    }
+}

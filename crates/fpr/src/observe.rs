@@ -1,0 +1,139 @@
+//! Micro-operation observation of the emulated multiplication.
+//!
+//! The *Falcon Down* attack targets intermediate values inside FALCON's
+//! floating-point multiplication. To simulate the electromagnetic leakage
+//! of those intermediates, the multiplication routine reports each
+//! micro-operation — operand loads, mantissa split, the four schoolbook
+//! partial products, the carry additions, sticky folding, normalisation,
+//! exponent addition, sign XOR and the final pack — to a [`MulObserver`].
+//!
+//! The plain arithmetic entry points use [`NullObserver`], which the
+//! compiler removes entirely.
+
+/// Which schoolbook partial product a [`MulStep::PartialProduct`] or
+/// [`MulStep::IntermediateAdd`] refers to.
+///
+/// Operand mantissas are split into a low 25-bit half (`lo`) and a high
+/// 28-bit half (`hi`); in the paper's notation the known operand halves
+/// are `B` (lo) / `A` (hi) and the secret halves are `D` (lo) / `C` (hi).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// `x_lo * y_lo` — the paper's `D × B` product.
+    LoLo,
+    /// `x_lo * y_hi` — the paper's `D × A` product.
+    LoHi,
+    /// `x_hi * y_lo` — the paper's `C × B` product.
+    HiLo,
+    /// `x_hi * y_hi` — the paper's `C × A` product.
+    HiHi,
+}
+
+/// One micro-operation of the emulated floating-point multiplication, in
+/// execution order (mantissa work first, then exponent, then sign — the
+/// temporal layout visible in the paper's Figure 3 trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MulStep {
+    /// The two 64-bit operands are fetched from memory.
+    OperandLoad { x: u64, y: u64 },
+    /// Mantissas (with the implicit bit) split into 25-bit low and 28-bit
+    /// high halves.
+    MantissaSplit { x_lo: u32, x_hi: u32, y_lo: u32, y_hi: u32 },
+    /// A 32×32→64 schoolbook partial product.
+    PartialProduct { lane: Lane, value: u64 },
+    /// An accumulation (carry addition) of partial products — the target
+    /// of the paper's *prune* phase.
+    IntermediateAdd { lane: Lane, value: u64 },
+    /// The below-precision bits are folded into the sticky position.
+    StickyFold { value: u64 },
+    /// The 56-bit product top after renormalisation.
+    Normalize { mantissa: u64 },
+    /// The exponent addition result (biased sum plus normalisation carry),
+    /// as the two's-complement word the device manipulates.
+    ExponentAdd { value: u32 },
+    /// The sign XOR of the operand sign bits.
+    SignXor { value: u32 },
+    /// The packed 64-bit result written back.
+    Pack { result: u64 },
+}
+
+impl MulStep {
+    /// The primary data word manipulated by this micro-op, as a `u64`.
+    ///
+    /// This is the value whose Hamming weight drives the simulated
+    /// leakage sample for the step.
+    pub fn data_word(&self) -> u64 {
+        match *self {
+            MulStep::OperandLoad { x, y } => x ^ y.rotate_left(32),
+            MulStep::MantissaSplit { x_lo, x_hi, y_lo, y_hi } => {
+                (x_lo as u64)
+                    ^ ((x_hi as u64) << 25)
+                    ^ (y_lo as u64).rotate_left(32)
+                    ^ ((y_hi as u64) << 36)
+            }
+            MulStep::PartialProduct { value, .. } => value,
+            MulStep::IntermediateAdd { value, .. } => value,
+            MulStep::StickyFold { value } => value,
+            MulStep::Normalize { mantissa } => mantissa,
+            MulStep::ExponentAdd { value } => value as u64,
+            MulStep::SignXor { value } => value as u64,
+            MulStep::Pack { result } => result,
+        }
+    }
+}
+
+/// Receiver of multiplication micro-operations.
+///
+/// Implementations must be cheap: `record` is called roughly a dozen times
+/// per multiplication on the observed code path.
+pub trait MulObserver {
+    /// Called for each micro-operation, in execution order.
+    fn record(&mut self, step: MulStep);
+
+    /// Called when the observed computation moves to a new polynomial
+    /// coefficient (used by trace capture to annotate segment boundaries).
+    /// The default implementation ignores the notification.
+    fn begin_coefficient(&mut self, _index: usize) {}
+}
+
+/// An observer that discards everything; optimises to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl NullObserver {
+    /// Creates a new no-op observer.
+    pub fn new() -> Self {
+        NullObserver
+    }
+}
+
+impl MulObserver for NullObserver {
+    #[inline(always)]
+    fn record(&mut self, _step: MulStep) {}
+}
+
+/// An observer that stores every micro-operation, for tests and for the
+/// leakage simulator.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// Recorded steps, in execution order.
+    pub steps: Vec<MulStep>,
+    /// `(coefficient_index, position in steps)` markers.
+    pub boundaries: Vec<(usize, usize)>,
+}
+
+impl RecordingObserver {
+    /// Creates an empty recording observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MulObserver for RecordingObserver {
+    fn record(&mut self, step: MulStep) {
+        self.steps.push(step);
+    }
+
+    fn begin_coefficient(&mut self, index: usize) {
+        self.boundaries.push((index, self.steps.len()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Emulated square root.
+
+use crate::repr::Fpr;
+
+/// Integer square root of a `u128`, rounded down.
+fn isqrt_u128(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    // Bit-by-bit restoring square root: exact and branch-simple.
+    let mut r: u128 = 0;
+    let mut bit: u128 = 1 << ((127 - n.leading_zeros() as i32) & !1);
+    let mut x = n;
+    while bit != 0 {
+        if x >= r + bit {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+    }
+    r
+}
+
+impl Fpr {
+    /// Emulated square root with round-to-nearest-even.
+    ///
+    /// The operand must be non-negative (FALCON only takes square roots of
+    /// Gram-matrix diagonal values, which are positive); in debug builds a
+    /// negative operand panics.
+    pub fn sqrt(self) -> Fpr {
+        debug_assert_eq!(self.sign_bit(), 0, "fpr sqrt of negative value");
+        if self.is_zero() {
+            return Fpr::ZERO;
+        }
+        let (_, exf, m) = self.unpack();
+        let mut e = exf - 1075; // value = m * 2^e, 2^52 <= m < 2^53
+        let mut m = m;
+        if e & 1 != 0 {
+            m <<= 1;
+            e -= 1;
+        }
+        // sqrt(m * 2^e) = isqrt(m << 56) * 2^(e/2 - 28); the shift makes
+        // the root land in [2^54, 2^55), the 55-bit window expected by
+        // the packer, with inexactness recorded as a sticky bit.
+        let wide = (m as u128) << 56;
+        let r = isqrt_u128(wide);
+        let sticky = u64::from(r * r != wide);
+        Fpr::build(0, e / 2 - 28, (r as u64) | sticky)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for v in [0u128, 1, 2, 3, 4, 5, 15, 16, 17, 1 << 60, (1 << 60) + 1] {
+            let r = isqrt_u128(v);
+            assert!(r * r <= v, "v={v}");
+            assert!((r + 1) * (r + 1) > v, "v={v}");
+        }
+    }
+}

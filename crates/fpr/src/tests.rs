@@ -1,0 +1,259 @@
+//! Unit and property tests for the emulated floating point.
+//!
+//! The oracle is the host's IEEE-754 double arithmetic: for normal
+//! operands and results away from subnormal/overflow territory the
+//! emulation must agree bit for bit.
+
+use crate::observe::{Lane, MulStep, RecordingObserver};
+use crate::repr::Fpr;
+use proptest::prelude::*;
+
+fn assert_bits(got: Fpr, want: f64, ctx: &str) {
+    assert_eq!(
+        got.to_bits(),
+        want.to_bits(),
+        "{ctx}: got {:e} ({:#x}), want {:e} ({:#x})",
+        got.to_f64(),
+        got.to_bits(),
+        want,
+        want.to_bits()
+    );
+}
+
+/// Doubles whose magnitude keeps intermediate results far away from both
+/// subnormals and overflow — FALCON's working range.
+fn moderate() -> impl Strategy<Value = f64> {
+    // mantissa bits, exponent in [-60, 60], sign
+    (any::<u64>(), -60i32..=60, any::<bool>()).prop_map(|(m, e, s)| {
+        let frac = 1.0 + (m & ((1u64 << 52) - 1)) as f64 / (1u64 << 52) as f64;
+        let v = frac * 2f64.powi(e);
+        if s {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_matches_f64(a in moderate(), b in moderate()) {
+        assert_bits(Fpr::from(a) + Fpr::from(b), a + b, "add");
+    }
+
+    #[test]
+    fn sub_matches_f64(a in moderate(), b in moderate()) {
+        assert_bits(Fpr::from(a) - Fpr::from(b), a - b, "sub");
+    }
+
+    #[test]
+    fn mul_matches_f64(a in moderate(), b in moderate()) {
+        assert_bits(Fpr::from(a) * Fpr::from(b), a * b, "mul");
+    }
+
+    #[test]
+    fn div_matches_f64(a in moderate(), b in moderate()) {
+        assert_bits(Fpr::from(a) / Fpr::from(b), a / b, "div");
+    }
+
+    #[test]
+    fn sqrt_matches_f64(a in moderate()) {
+        let a = a.abs();
+        assert_bits(Fpr::from(a).sqrt(), a.sqrt(), "sqrt");
+    }
+
+    #[test]
+    fn from_i64_matches_f64(i in any::<i64>()) {
+        assert_bits(Fpr::from_i64(i), i as f64, "from_i64");
+    }
+
+    #[test]
+    fn scaled_matches_f64(i in any::<i64>(), sc in -200i32..=200) {
+        assert_bits(Fpr::scaled(i, sc), i as f64 * 2f64.powi(sc), "scaled");
+    }
+
+    #[test]
+    fn rint_matches_f64(a in -1.0e12f64..1.0e12) {
+        prop_assert_eq!(Fpr::from(a).rint(), a.round_ties_even() as i64);
+    }
+
+    #[test]
+    fn floor_matches_f64(a in -1.0e12f64..1.0e12) {
+        prop_assert_eq!(Fpr::from(a).floor(), a.floor() as i64);
+    }
+
+    #[test]
+    fn trunc_matches_f64(a in -1.0e12f64..1.0e12) {
+        prop_assert_eq!(Fpr::from(a).trunc(), a.trunc() as i64);
+    }
+
+    #[test]
+    fn half_double_roundtrip(a in moderate()) {
+        let x = Fpr::from(a);
+        prop_assert_eq!(x.double().half(), x);
+        assert_bits(x.double(), a * 2.0, "double");
+        assert_bits(x.half(), a / 2.0, "half");
+    }
+
+    #[test]
+    fn comparisons_match_f64(a in moderate(), b in moderate()) {
+        prop_assert_eq!(Fpr::from(a).lt(Fpr::from(b)), a < b);
+        prop_assert_eq!(Fpr::from(a).le(Fpr::from(b)), a <= b);
+    }
+
+    #[test]
+    fn mul_observed_equals_mul(a in moderate(), b in moderate()) {
+        let mut obs = RecordingObserver::new();
+        let x = Fpr::from(a);
+        let y = Fpr::from(b);
+        prop_assert_eq!(x.mul_observed(y, &mut obs), x * y);
+        // Execution order: mantissa pipeline, then exponent, then sign.
+        let kinds: Vec<_> = obs.steps.iter().map(std::mem::discriminant).collect();
+        prop_assert_eq!(kinds.len(), 14);
+    }
+}
+
+#[test]
+fn zero_sign_rules() {
+    let pz = Fpr::ZERO;
+    let nz = Fpr::ZERO.neg();
+    assert_bits(pz + nz, 0.0f64 + (-0.0), "+0 + -0");
+    assert_bits(nz + nz, -0.0f64 + (-0.0), "-0 + -0");
+    let x = Fpr::from(1.5);
+    assert_bits(x - x, 0.0, "x - x");
+    assert_bits(x.neg() + x, 0.0, "-x + x");
+    assert_bits(x * pz, 1.5 * 0.0, "x * +0");
+    assert_bits(x * nz, 1.5 * -0.0, "x * -0");
+    assert_bits(x.neg() * pz, -1.5 * 0.0, "-x * +0");
+}
+
+#[test]
+fn subnormal_results_flush_to_zero() {
+    // 2^-1000 * 2^-100 underflows the normal range -> 0 in the emulation.
+    let tiny = Fpr::from(2f64.powi(-1000)) * Fpr::from(2f64.powi(-100));
+    assert!(tiny.is_zero());
+    let neg = Fpr::from(-(2f64.powi(-1000))) * Fpr::from(2f64.powi(-100));
+    assert!(neg.is_zero());
+    assert_eq!(neg.sign_bit(), 1);
+}
+
+#[test]
+fn paper_example_coefficient_decomposes() {
+    // The coefficient from the paper's Section IV:
+    // 0xC06017BC8036B580 -> sign 1, exponent 0x406, mantissa 0x017BC8036B580,
+    // with high-order half 0x00BDE40 and low-order half 0x036B580
+    // (53-bit mantissa including the implicit bit, split 28 | 25).
+    let c = Fpr::from_bits(0xC060_17BC_8036_B580);
+    assert_eq!(c.sign_bit(), 1);
+    assert_eq!(c.exponent_bits(), 0x406);
+    assert_eq!(c.mantissa_bits(), 0x017BC8036B580);
+    let full = c.mantissa_bits() | (1u64 << 52);
+    let lo = (full & 0x1FF_FFFF) as u32;
+    let hi = (full >> 25) as u32;
+    // Paper: lower-order bits 0x36B580, higher-order bits 0x00BDE40 (the
+    // paper strips the implicit leading one; the device manipulates it).
+    assert_eq!(lo, 0x36B580);
+    assert_eq!(hi & 0x7F_FFFF, 0xBDE40);
+    assert_eq!(hi, 0x80B_DE40);
+    assert_eq!(((hi as u64) << 25) | lo as u64, full);
+}
+
+#[test]
+fn observed_steps_expose_partial_products() {
+    let x = Fpr::from(3.25);
+    let y = Fpr::from(-7.5);
+    let mut obs = RecordingObserver::new();
+    let _ = x.mul_observed(y, &mut obs);
+    let (_, _, xm) = (x.sign_bit(), x.exponent_bits(), x.mantissa_bits() | (1 << 52));
+    let (_, _, ym) = (y.sign_bit(), y.exponent_bits(), y.mantissa_bits() | (1 << 52));
+    let x0 = xm & 0x1FF_FFFF;
+    let y0 = ym & 0x1FF_FFFF;
+    let want = x0 * y0;
+    let got = obs
+        .steps
+        .iter()
+        .find_map(|s| match s {
+            MulStep::PartialProduct { lane: Lane::LoLo, value } => Some(*value),
+            _ => None,
+        })
+        .expect("LoLo partial product recorded");
+    assert_eq!(got, want);
+    // The sign xor must be 1 (positive * negative).
+    assert!(obs
+        .steps
+        .iter()
+        .any(|s| matches!(s, MulStep::SignXor { value: 1 })));
+}
+
+#[test]
+fn expm_p63_with_ccs() {
+    let x = Fpr::from(0.25);
+    let ccs = Fpr::from(0.73);
+    let got = x.expm_p63(ccs) as f64;
+    let want = 2f64.powi(63) * 0.73 * (-0.25f64).exp();
+    assert!(((got - want) / want).abs() < 1e-13);
+}
+
+#[test]
+fn rounding_tie_to_even_in_multiplication() {
+    // (1 + 2^-52) * (1 + 2^-1): the product 1.5 + 1.5·2^-52 needs
+    // rounding; check bit-exactness against the host on a family of
+    // boundary-straddling operands.
+    for k in 1..=8u32 {
+        let a = f64::from_bits(0x3FF0_0000_0000_0000 + k as u64); // 1 + k·2^-52
+        let b = 1.5f64;
+        assert_bits(Fpr::from(a) * Fpr::from(b), a * b, "tie boundary mul");
+        assert_bits(Fpr::from(a) * Fpr::from(a), a * a, "self square boundary");
+    }
+}
+
+#[test]
+fn addition_alignment_drop_boundary() {
+    // The emulation drops the smaller addend entirely beyond 59 shift
+    // positions; IEEE agrees because it is below half an ulp.
+    let big = 2f64.powi(80);
+    for e in [55, 58, 59, 60, 61, 80, 120] {
+        let small = 2f64.powi(80 - e);
+        assert_bits(Fpr::from(big) + Fpr::from(small), big + small, "align add");
+        assert_bits(Fpr::from(big) - Fpr::from(small), big - small, "align sub");
+    }
+}
+
+#[test]
+fn rint_ties_to_even() {
+    for (v, want) in [(0.5, 0i64), (1.5, 2), (2.5, 2), (-0.5, 0), (-1.5, -2), (-2.5, -2)] {
+        assert_eq!(Fpr::from(v).rint(), want, "rint({v})");
+    }
+}
+
+#[test]
+fn floor_and_trunc_at_negative_boundaries() {
+    for (v, fl, tr) in [(-1.0, -1i64, -1i64), (-1.25, -2, -1), (-0.75, -1, 0), (0.75, 0, 0)] {
+        assert_eq!(Fpr::from(v).floor(), fl, "floor({v})");
+        assert_eq!(Fpr::from(v).trunc(), tr, "trunc({v})");
+    }
+}
+
+#[test]
+fn scaled_extremes() {
+    assert_bits(Fpr::scaled(i64::MAX, 0), i64::MAX as f64, "scaled max");
+    assert_bits(Fpr::scaled(i64::MIN, 0), i64::MIN as f64, "scaled min");
+    assert_bits(Fpr::scaled(1, -1074 + 60), 2f64.powi(-1014), "scaled tiny");
+    assert_bits(Fpr::scaled(-3, 100), -3.0 * 2f64.powi(100), "scaled big negative");
+}
+
+#[test]
+fn sqrt_exact_squares_and_boundaries() {
+    for v in [1.0f64, 4.0, 9.0, 2.0, 0.5, 1e-300, 1e300] {
+        assert_bits(Fpr::from(v).sqrt(), v.sqrt(), "sqrt");
+    }
+    assert!(Fpr::ZERO.sqrt().is_zero());
+}
+
+#[test]
+fn display_and_debug_are_nonempty() {
+    let x = Fpr::from(-2.5);
+    assert_eq!(format!("{x}"), "-2.5");
+    assert!(format!("{x:?}").contains("Fpr"));
+    assert_eq!(format!("{:#018x}", x), "0xc004000000000000");
+}

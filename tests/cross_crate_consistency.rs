@@ -1,0 +1,127 @@
+//! Integration: consistency properties that span crate boundaries.
+
+use falcon_down::dema::model::{hyp_exact, KnownOperand};
+use falcon_down::emsim::{Device, LeakageModel, MeasurementChain, Scope, StepKind};
+use falcon_down::fpr::{Fpr, RecordingObserver};
+use falcon_down::sig::fft::fft;
+use falcon_down::sig::hash::hash_to_point;
+use falcon_down::sig::rng::Prng;
+use falcon_down::sig::{KeyPair, LogN};
+
+fn quiet_device(logn: u32, seed: &[u8]) -> Device {
+    let mut rng = Prng::from_seed(seed);
+    let kp = KeyPair::generate(LogN::new(logn).unwrap(), &mut rng);
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, 0.0),
+        lowpass: 0.0,
+        scope: Scope { enabled: false, ..Default::default() },
+    };
+    Device::new(kp.into_parts().0, chain, b"consistency bench")
+}
+
+/// The adversary's recomputation of FFT(c) from the public salt and
+/// message must equal the device's, bit for bit — the known-plaintext
+/// premise of the whole attack.
+#[test]
+#[allow(clippy::needless_range_loop)] // secret is the targeted flat index
+fn adversary_recomputes_known_operands_bit_exactly() {
+    let mut dev = quiet_device(4, b"consistency key");
+    let layout = dev.layout();
+    let n = 16;
+    let cap = dev.capture(b"known plaintext");
+    let c = hash_to_point(&cap.salt, &cap.msg, n);
+    let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
+    fft(&mut c_fft);
+    // With a noiseless chain, every sample equals the HW of the micro-op
+    // word computed from (secret ground truth, recomputed known operand).
+    let f_fft = dev.signing_key().f_fft().to_vec();
+    for secret in 0..n {
+        for (mul_idx, known_idx) in layout.muls_for_secret(secret) {
+            let k = KnownOperand::new(c_fft[known_idx].to_bits());
+            for step in StepKind::ALL {
+                let want = hyp_exact(f_fft[secret].to_bits(), &k, step);
+                let got = cap.trace.samples[layout.sample_index(mul_idx, step)] as f64;
+                assert_eq!(got, want, "secret {secret} mul {mul_idx} step {step:?}");
+            }
+        }
+    }
+}
+
+/// The signing path's traced multiplication must cover the same
+/// micro-ops, in the same order, as the device's capture fast path.
+#[test]
+fn sign_traced_layout_matches_device_capture() {
+    let mut rng = Prng::from_seed(b"layout key");
+    let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+    let mut obs = RecordingObserver::new();
+    let _sig = kp.signing_key().sign_traced(b"layout probe", &mut rng, &mut obs);
+    let n = 16;
+    // One begin_coefficient per real multiplication, cycling through the
+    // secret flat indices in the documented order.
+    let per_pass = (n / 2) * 4;
+    assert_eq!(obs.boundaries.len() % per_pass, 0);
+    for j in 0..n / 2 {
+        let (idx0, _) = obs.boundaries[4 * j];
+        let (idx1, _) = obs.boundaries[4 * j + 1];
+        let (idx2, _) = obs.boundaries[4 * j + 2];
+        let (idx3, _) = obs.boundaries[4 * j + 3];
+        assert_eq!((idx0, idx1, idx2, idx3), (j, j + n / 2, j, j + n / 2));
+    }
+    // 14 steps per multiplication.
+    assert_eq!(obs.steps.len() % (obs.boundaries.len() * 14), 0);
+}
+
+/// Signatures produced under observation are indistinguishable from
+/// unobserved ones (the probe is passive).
+#[test]
+fn observation_does_not_change_signatures() {
+    let mut rng_a = Prng::from_seed(b"passive probe");
+    let mut rng_b = Prng::from_seed(b"passive probe");
+    let kp_a = KeyPair::generate(LogN::new(4).unwrap(), &mut rng_a);
+    let kp_b = KeyPair::generate(LogN::new(4).unwrap(), &mut rng_b);
+    let mut obs = RecordingObserver::new();
+    let sig_plain = kp_a.signing_key().sign(b"m", &mut rng_a);
+    let sig_traced = kp_b.signing_key().sign_traced(b"m", &mut rng_b, &mut obs);
+    assert_eq!(sig_plain, sig_traced);
+    assert!(!obs.steps.is_empty());
+}
+
+/// Device captures for the same (salt, message) are the same computation
+/// regardless of countermeasure shuffling — only emission order differs.
+#[test]
+fn capture_values_are_permutation_invariant() {
+    use falcon_down::emsim::CountermeasureConfig;
+    let mut plain = quiet_device(4, b"perm key");
+    let mut rng = Prng::from_seed(b"perm key");
+    let kp = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, 0.0),
+        lowpass: 0.0,
+        scope: Scope { enabled: false, ..Default::default() },
+    };
+    let mut shuffled = Device::new(kp.into_parts().0, chain, b"consistency bench")
+        .with_countermeasures(CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false });
+    let salt = [3u8; 40];
+    let a = plain.capture_with_salt(&salt, b"m");
+    let b = shuffled.capture_with_salt(&salt, b"m");
+    let mut sa = a.samples.clone();
+    let mut sb = b.samples.clone();
+    sa.sort_by(f32::total_cmp);
+    sb.sort_by(f32::total_cmp);
+    assert_eq!(sa, sb);
+}
+
+/// FALCON parameters, hash, and verification glue: a signature moved
+/// between parameter sets or keys must not verify.
+#[test]
+fn cross_key_and_parameter_rejection() {
+    let mut rng = Prng::from_seed(b"cross keys");
+    let kp4 = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+    let kp4b = KeyPair::generate(LogN::new(4).unwrap(), &mut rng);
+    let sig = kp4.signing_key().sign(b"msg", &mut rng);
+    assert!(kp4.verifying_key().verify(b"msg", &sig));
+    assert!(!kp4b.verifying_key().verify(b"msg", &sig));
+    let bytes = sig.to_bytes();
+    let parsed = falcon_down::sig::Signature::from_bytes(&bytes).unwrap();
+    assert!(kp4.verifying_key().verify(b"msg", &parsed));
+}
