@@ -17,6 +17,7 @@ fn make_device(logn: u32) -> Device {
         model: LeakageModel::hamming_weight(1.0, 2.0),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     Device::new(kp.into_parts().0, chain, b"bench attack")
 }

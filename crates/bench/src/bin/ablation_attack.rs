@@ -29,6 +29,7 @@ fn main() {
         model: LeakageModel::hamming_weight(1.0, noise),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let mut dev = Device::new(kp.into_parts().0, chain, b"ablation attack bench");
     let targets: Vec<usize> = (0..coeffs.min(n)).map(|i| i * (n / coeffs.min(n))).collect();
@@ -51,10 +52,8 @@ fn main() {
     let mut rows = Vec::new();
     for cfg in configs {
         let t0 = Instant::now();
-        let ok = targets
-            .iter()
-            .filter(|&&t| recover_coefficient(&ds, t, &cfg).bits == truth[t])
-            .count();
+        let ok =
+            targets.iter().filter(|&&t| recover_coefficient(&ds, t, &cfg).bits == truth[t]).count();
         let dt = t0.elapsed();
         rows.push(vec![
             format!("step={} beam={}", cfg.step_bits, cfg.beam_width),

@@ -47,16 +47,14 @@ fn main() {
         ChainSpec { name: "12-bit scope", noise: 8.6, lowpass: 0.0, scope_bits: 12 },
     ];
 
-    println!(
-        "FALCON-{}, coefficient {coeff}, {traces} traces per chain configuration",
-        params.n()
-    );
+    println!("FALCON-{}, coefficient {coeff}, {traces} traces per chain configuration", params.n());
     let mut rows = Vec::new();
     for spec in &specs {
         let chain = MeasurementChain {
             model: LeakageModel::hamming_weight(1.0, spec.noise),
             lowpass: spec.lowpass,
             scope: Scope { bits: spec.scope_bits, full_scale: 100.0, enabled: true },
+            ..Default::default()
         };
         let mut dev = Device::new(sk.clone(), chain, b"ablation chain bench");
         let mut msgs = Prng::from_seed(b"ablation chain msgs");

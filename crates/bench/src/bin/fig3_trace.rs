@@ -66,10 +66,8 @@ fn main() {
         &rows,
     );
 
-    let series: Vec<f64> = layout
-        .coefficient_range(coeff)
-        .map(|i| cap.trace.samples[i] as f64)
-        .collect();
+    let series: Vec<f64> =
+        layout.coefficient_range(coeff).map(|i| cap.trace.samples[i] as f64).collect();
     println!("\ntrace sketch  : {}", sparkline(&series));
     let annot: String = (0..series.len())
         .map(|t| match t % StepKind::COUNT {

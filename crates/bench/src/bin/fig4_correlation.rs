@@ -27,7 +27,10 @@ fn panel_report(name: &str, m: &CorrMatrix, guesses: &[u64], correct: u64, d: u6
     let rank = m.ranking();
     let ci = threshold_9999(d);
     let correct_idx = guesses.iter().position(|&g| g == correct);
-    println!("\n--- panel {name} ({} guesses, {d} traces, 99.99% CI = ±{ci:.4}) ---", guesses.len());
+    println!(
+        "\n--- panel {name} ({} guesses, {d} traces, 99.99% CI = ±{ci:.4}) ---",
+        guesses.len()
+    );
     let rows: Vec<Vec<String>> = rank
         .iter()
         .take(5)
@@ -42,7 +45,11 @@ fn panel_report(name: &str, m: &CorrMatrix, guesses: &[u64], correct: u64, d: u6
             ]
         })
         .collect();
-    print_table(&format!("top guesses, panel {name}"), &["rank", "guess", "peak t", "corr", ""], &rows);
+    print_table(
+        &format!("top guesses, panel {name}"),
+        &["rank", "guess", "peak t", "corr", ""],
+        &rows,
+    );
     if let Some(ci_idx) = correct_idx {
         let (s, _) = m.peak(ci_idx);
         let row = m.corr_row(ci_idx);

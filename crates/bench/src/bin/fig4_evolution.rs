@@ -46,17 +46,10 @@ fn main() {
     // step to observe) — first-occurrence columns give a clean
     // one-sample-per-trace evolution axis.
     let panels: Vec<(&str, Vec<f64>, StepKind)> = vec![
-        (
-            "(e) sign",
-            knowns.iter().map(|k| hyp_sign(true_sign, k)).collect(),
-            StepKind::SignXor,
-        ),
+        ("(e) sign", knowns.iter().map(|k| hyp_sign(true_sign, k)).collect(), StepKind::SignXor),
         (
             "(f) exponent",
-            knowns
-                .iter()
-                .map(|k| hyp_exponent_with_carry(true_exp, true_c, true_d, k))
-                .collect(),
+            knowns.iter().map(|k| hyp_exponent_with_carry(true_exp, true_c, true_d, k)).collect(),
             StepKind::ExponentAdd,
         ),
         (
@@ -96,7 +89,11 @@ fn main() {
                 ]
             })
             .collect();
-        print_csv(&format!("{name}: correlation vs trace count"), &["traces", "corr", "ci_9999"], &rows);
+        print_csv(
+            &format!("{name}: correlation vs trace count"),
+            &["traces", "corr", "ci_9999"],
+            &rows,
+        );
     }
 
     print_table(

@@ -78,11 +78,7 @@ fn main() {
         if known.is_empty() {
             return ("-".into(), "-".into(), format!("{fails}"));
         }
-        (
-            known[known.len() / 2].to_string(),
-            known[known.len() - 1].to_string(),
-            fails.to_string(),
-        )
+        (known[known.len() / 2].to_string(), known[known.len() - 1].to_string(), fails.to_string())
     };
 
     let paper = ["~9k", "~1k", "n/a (ties)", "~1k"];

@@ -56,10 +56,7 @@ fn main() {
         vec!["coefficients recovered".into(), format!("{exact}/{n}")],
         vec!["recovery time".into(), format!("{t_rec:.2?}")],
         vec!["key recovery (iFFT + NTRU solve)".into(), format!("{t_key:.2?}")],
-        vec![
-            "full private key recovered".into(),
-            recovered.is_some().to_string(),
-        ],
+        vec!["full private key recovered".into(), recovered.is_some().to_string()],
         vec![
             "forged signature verifies".into(),
             forged_ok.map(|b| b.to_string()).unwrap_or_else(|| "-".into()),

@@ -33,12 +33,33 @@ fn main() {
 
     let configs: Vec<(&str, CountermeasureConfig)> = vec![
         ("unprotected", CountermeasureConfig::default()),
-        ("hiding: +2x noise", CountermeasureConfig { shuffle: false, extra_noise_sigma: 2.0 * base_noise, masking: false }),
-        ("hiding: +4x noise", CountermeasureConfig { shuffle: false, extra_noise_sigma: 4.0 * base_noise, masking: false }),
-        ("shuffling", CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false }),
+        (
+            "hiding: +2x noise",
+            CountermeasureConfig {
+                shuffle: false,
+                extra_noise_sigma: 2.0 * base_noise,
+                masking: false,
+            },
+        ),
+        (
+            "hiding: +4x noise",
+            CountermeasureConfig {
+                shuffle: false,
+                extra_noise_sigma: 4.0 * base_noise,
+                masking: false,
+            },
+        ),
+        (
+            "shuffling",
+            CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false },
+        ),
         (
             "shuffling + 2x noise",
-            CountermeasureConfig { shuffle: true, extra_noise_sigma: 2.0 * base_noise, masking: false },
+            CountermeasureConfig {
+                shuffle: true,
+                extra_noise_sigma: 2.0 * base_noise,
+                masking: false,
+            },
         ),
         (
             "additive masking",
@@ -54,6 +75,7 @@ fn main() {
             model: LeakageModel::hamming_weight(1.0, base_noise),
             lowpass: 0.0,
             scope: Scope::default(),
+            ..Default::default()
         };
         let mut device = Device::new(sk.clone(), chain, b"table4 bench").with_countermeasures(cm);
         // Device-side overhead: wall time per capture (shuffling costs a
@@ -85,7 +107,14 @@ fn main() {
     }
     print_table(
         "Table 4: attack degradation under hiding countermeasures",
-        &["configuration", "coeff recovered", "sign corr", "sign disclosure", "slowdown", "capture cost"],
+        &[
+            "configuration",
+            "coeff recovered",
+            "sign corr",
+            "sign disclosure",
+            "slowdown",
+            "capture cost",
+        ],
         &rows,
     );
     println!("\nthe paper's recommendation: masking (randomised intermediates) is the");

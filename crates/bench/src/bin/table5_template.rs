@@ -88,13 +88,7 @@ fn main() {
     }
     print_table(
         "Table 5 (extension): sign-bit trace budget, CPA vs profiled templates",
-        &[
-            "coeff",
-            "CPA 99.99% stable",
-            "CPA stable-correct",
-            "template stable-correct",
-            "gain",
-        ],
+        &["coeff", "CPA 99.99% stable", "CPA stable-correct", "template stable-correct", "gain"],
         &rows,
     );
     println!("\nreading: for the 1-bit sign, the first-correct-guess counts of CPA and");

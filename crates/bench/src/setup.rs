@@ -13,7 +13,11 @@ pub const PAPER_NOISE_SIGMA: f64 = 8.6;
 /// Builds a victim: key pair plus instrumented device.
 ///
 /// Returns `(device, verifying key, ground-truth FFT(f) bits)`.
-pub fn victim(logn: u32, noise_sigma: f64, seed: &str) -> (Device, falcon_sig::VerifyingKey, Vec<u64>) {
+pub fn victim(
+    logn: u32,
+    noise_sigma: f64,
+    seed: &str,
+) -> (Device, falcon_sig::VerifyingKey, Vec<u64>) {
     let params = LogN::new(logn).expect("logn in 1..=10");
     let mut rng = Prng::from_seed(seed.as_bytes());
     let kp = KeyPair::generate(params, &mut rng);
@@ -23,6 +27,7 @@ pub fn victim(logn: u32, noise_sigma: f64, seed: &str) -> (Device, falcon_sig::V
         model: LeakageModel::hamming_weight(1.0, noise_sigma),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let device = Device::new(kp.into_parts().0, chain, format!("{seed}/bench").as_bytes());
     (device, vk, truth)

@@ -7,6 +7,7 @@
 //! secret index, the two known operands and the 2×14 samples of the two
 //! multiplications involving that secret value.
 
+use crate::error::{Error, Result};
 use falcon_emsim::{Device, StepKind};
 use falcon_fpr::Fpr;
 use falcon_sig::fft::fft;
@@ -34,26 +35,41 @@ impl Dataset {
     /// messages drawn from `msg_rng`, keeping the windows for `targets`
     /// (flat `FFT(f)` indices, `0..n`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a target index is out of range for the device's degree.
-    pub fn collect(
+    /// Returns [`Error::TargetOutOfRange`] when a target index exceeds
+    /// the device's degree. Captures whose trace does not cover the
+    /// expected layout (e.g. a missed trigger under an active
+    /// [`falcon_emsim::FaultModel`]) would corrupt the window extraction
+    /// and are rejected as [`Error::Acquisition`]; use
+    /// [`Dataset::collect_screened`](crate::screen) to tolerate them.
+    pub fn try_collect(
         device: &mut Device,
         targets: &[usize],
         n_traces: usize,
         msg_rng: &mut Prng,
-    ) -> Dataset {
+    ) -> Result<Dataset> {
         let n = device.signing_key().logn().n();
         for &t in targets {
-            assert!(t < n, "target {t} out of range for n={n}");
+            if t >= n {
+                return Err(Error::TargetOutOfRange { target: t, n });
+            }
         }
         let layout = device.layout();
+        let expected_len = layout.samples_per_trace();
         let mut knowns = Vec::with_capacity(n_traces * targets.len() * 2);
         let mut points = Vec::with_capacity(n_traces * targets.len() * POINTS_PER_TARGET);
-        for _ in 0..n_traces {
+        for i in 0..n_traces {
             let mut msg = [0u8; 24];
             msg_rng.fill(&mut msg);
             let cap = device.capture(&msg);
+            if cap.trace.len() < expected_len {
+                return Err(Error::Acquisition(format!(
+                    "trace {i} has {} samples, layout needs {expected_len} \
+                     (faulty capture? use collect_screened)",
+                    cap.trace.len()
+                )));
+            }
             // Adversary-side recomputation of FFT(c).
             let c = hash_to_point(&cap.salt, &cap.msg, n);
             let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
@@ -67,15 +83,80 @@ impl Dataset {
                 }
             }
         }
-        Dataset { n, targets: targets.to_vec(), traces: n_traces, knowns, points }
+        Ok(Dataset { n, targets: targets.to_vec(), traces: n_traces, knowns, points })
+    }
+
+    /// Panicking convenience wrapper around [`Dataset::try_collect`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a target index is out of range for the device's degree
+    /// or a capture is unusable (see [`Dataset::try_collect`]).
+    #[track_caller]
+    pub fn collect(
+        device: &mut Device,
+        targets: &[usize],
+        n_traces: usize,
+        msg_rng: &mut Prng,
+    ) -> Dataset {
+        match Dataset::try_collect(device, targets, n_traces, msg_rng) {
+            Ok(ds) => ds,
+            Err(e) => panic!("Dataset::collect failed: {e}"),
+        }
     }
 
     /// Rebuilds a dataset from raw storage (used by [`crate::io`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error when the component lengths are inconsistent
+    /// with the dimensions or a target is out of range.
+    pub fn try_from_raw_parts(
+        n: usize,
+        targets: Vec<usize>,
+        traces: usize,
+        knowns: Vec<u64>,
+        points: Vec<f32>,
+    ) -> Result<Dataset> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::BadDegree { n });
+        }
+        let want_knowns = traces
+            .checked_mul(targets.len())
+            .and_then(|v| v.checked_mul(2))
+            .ok_or_else(|| Error::invalid("known-operand count overflows"))?;
+        if knowns.len() != want_knowns {
+            return Err(Error::ShapeMismatch {
+                what: "known operands",
+                expected: want_knowns,
+                got: knowns.len(),
+            });
+        }
+        let want_points = traces
+            .checked_mul(targets.len())
+            .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
+            .ok_or_else(|| Error::invalid("sample count overflows"))?;
+        if points.len() != want_points {
+            return Err(Error::ShapeMismatch {
+                what: "samples",
+                expected: want_points,
+                got: points.len(),
+            });
+        }
+        if let Some(&t) = targets.iter().find(|&&t| t >= n) {
+            return Err(Error::TargetOutOfRange { target: t, n });
+        }
+        Ok(Dataset { n, targets, traces, knowns, points })
+    }
+
+    /// Panicking convenience wrapper around
+    /// [`Dataset::try_from_raw_parts`].
     ///
     /// # Panics
     ///
     /// Panics if the component lengths are inconsistent with the
     /// dimensions.
+    #[track_caller]
     pub fn from_raw_parts(
         n: usize,
         targets: Vec<usize>,
@@ -83,10 +164,10 @@ impl Dataset {
         knowns: Vec<u64>,
         points: Vec<f32>,
     ) -> Dataset {
-        assert_eq!(knowns.len(), traces * targets.len() * 2);
-        assert_eq!(points.len(), traces * targets.len() * POINTS_PER_TARGET);
-        assert!(targets.iter().all(|&t| t < n));
-        Dataset { n, targets, traces, knowns, points }
+        match Dataset::try_from_raw_parts(n, targets, traces, knowns, points) {
+            Ok(ds) => ds,
+            Err(e) => panic!("Dataset::from_raw_parts failed: {e}"),
+        }
     }
 
     /// Ring degree.
@@ -104,8 +185,17 @@ impl Dataset {
         self.traces
     }
 
+    /// Position of `target` in the target list, if present.
+    fn try_target_pos(&self, target: usize) -> Option<usize> {
+        self.targets.iter().position(|&t| t == target)
+    }
+
+    #[track_caller]
     fn target_pos(&self, target: usize) -> usize {
-        self.targets.iter().position(|&t| t == target).expect("target not in dataset")
+        match self.try_target_pos(target) {
+            Some(p) => p,
+            None => panic!("{}", Error::TargetNotInDataset { target }),
+        }
     }
 
     /// Known operand bits for `(trace, target, occurrence)`.
@@ -143,6 +233,70 @@ impl Dataset {
         &self.points[start..start + POINTS_PER_TARGET]
     }
 
+    /// Appends the traces of `other` to this dataset. Both must share the
+    /// ring degree and the exact target list (batch-wise accumulation in
+    /// adaptive campaigns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DatasetMismatch`] when the shapes differ.
+    pub fn append(&mut self, other: &Dataset) -> Result<()> {
+        if self.n != other.n {
+            return Err(Error::DatasetMismatch(format!("ring degree {} vs {}", self.n, other.n)));
+        }
+        if self.targets != other.targets {
+            return Err(Error::DatasetMismatch(format!(
+                "target lists differ ({:?} vs {:?})",
+                self.targets, other.targets
+            )));
+        }
+        self.knowns.extend_from_slice(&other.knowns);
+        self.points.extend_from_slice(&other.points);
+        self.traces += other.traces;
+        Ok(())
+    }
+
+    /// Extracts the sub-dataset covering only `subset` of the targets
+    /// (same traces, fewer columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TargetNotInDataset`] when a requested target is
+    /// not part of this dataset.
+    pub fn select_targets(&self, subset: &[usize]) -> Result<Dataset> {
+        let pos: Vec<usize> = subset
+            .iter()
+            .map(|&t| self.try_target_pos(t).ok_or(Error::TargetNotInDataset { target: t }))
+            .collect::<Result<_>>()?;
+        let mut knowns = Vec::with_capacity(self.traces * subset.len() * 2);
+        let mut points = Vec::with_capacity(self.traces * subset.len() * POINTS_PER_TARGET);
+        for trace in 0..self.traces {
+            for &ti in &pos {
+                let kbase = (trace * self.targets.len() + ti) * 2;
+                knowns.extend_from_slice(&self.knowns[kbase..kbase + 2]);
+                let pbase = (trace * self.targets.len() + ti) * POINTS_PER_TARGET;
+                points.extend_from_slice(&self.points[pbase..pbase + POINTS_PER_TARGET]);
+            }
+        }
+        Ok(Dataset { n: self.n, targets: subset.to_vec(), traces: self.traces, knowns, points })
+    }
+
+    /// An empty dataset (zero traces) for the given degree and targets —
+    /// the identity for [`Dataset::append`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error on a bad degree or out-of-range target.
+    pub fn empty(n: usize, targets: &[usize]) -> Result<Dataset> {
+        Dataset::try_from_raw_parts(n, targets.to_vec(), 0, Vec::new(), Vec::new())
+    }
+
+    /// Mutable access to the flat sample storage (screening's outlier
+    /// winsorisation rewrites columns in place).
+    pub(crate) fn points_mut(&mut self) -> &mut [f32] {
+        &mut self.points
+    }
+
     /// Restricts the dataset to its first `n_traces` traces (cheap way to
     /// study trace-count sweeps on one acquisition).
     pub fn truncated(&self, n_traces: usize) -> Dataset {
@@ -170,6 +324,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, noise),
             lowpass: 0.0,
             scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         Device::new(kp.into_parts().0, chain, b"acquire bench")
     }

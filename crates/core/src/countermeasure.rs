@@ -66,6 +66,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, 1.0),
             lowpass: 0.0,
             scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         Device::new(kp.into_parts().0, chain, b"cm bench").with_countermeasures(cm)
     }

@@ -121,9 +121,9 @@ impl CorrMatrix {
             return 0.0;
         }
         let num = d * self.sht[g * self.samples + s] - self.sh[g] * self.st[s];
-        let den =
-            ((d * self.sh2[g] - self.sh[g] * self.sh[g]) * (d * self.st2[s] - self.st[s] * self.st[s]))
-                .sqrt();
+        let den = ((d * self.sh2[g] - self.sh[g] * self.sh[g])
+            * (d * self.st2[s] - self.st[s] * self.st[s]))
+            .sqrt();
         if den <= 0.0 {
             0.0
         } else {
@@ -201,12 +201,10 @@ mod tests {
 
     #[test]
     fn matrix_matches_direct_pearson() {
-        let traces: Vec<Vec<f32>> = (0..50)
-            .map(|d| (0..4).map(|s| ((d * 7 + s * 13) % 23) as f32).collect())
-            .collect();
-        let hyps: Vec<Vec<f64>> = (0..50)
-            .map(|d| (0..3).map(|g| ((d * (g + 2) + 1) % 19) as f64).collect())
-            .collect();
+        let traces: Vec<Vec<f32>> =
+            (0..50).map(|d| (0..4).map(|s| ((d * 7 + s * 13) % 23) as f32).collect()).collect();
+        let hyps: Vec<Vec<f64>> =
+            (0..50).map(|d| (0..3).map(|g| ((d * (g + 2) + 1) % 19) as f64).collect()).collect();
         let mut m = CorrMatrix::new(3, 4);
         for (h, t) in hyps.iter().zip(&traces) {
             m.update(h, t);

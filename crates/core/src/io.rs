@@ -5,8 +5,9 @@
 //! (magic, version, dimensions, then raw little-endian payloads) so
 //! acquisitions can be replayed, shared, and attacked offline.
 
-use crate::acquire::Dataset;
-use std::io::{self, Read, Write};
+use crate::acquire::{Dataset, POINTS_PER_TARGET};
+use crate::error::{Error, Result};
+use std::io::{Read, Write};
 
 const MAGIC: &[u8; 8] = b"FDNDSET\x01";
 
@@ -16,7 +17,7 @@ const MAGIC: &[u8; 8] = b"FDNDSET\x01";
 ///
 /// Propagates I/O errors from the writer. The format is
 /// platform-independent (fixed-width little-endian fields).
-pub fn write_dataset<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
+pub fn write_dataset<W: Write>(ds: &Dataset, mut w: W) -> Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&(ds.n() as u64).to_le_bytes())?;
     w.write_all(&(ds.targets().len() as u64).to_le_bytes())?;
@@ -41,57 +42,106 @@ pub fn write_dataset<W: Write>(ds: &Dataset, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+pub(crate) fn bad(msg: &str) -> Error {
+    Error::invalid(msg)
+}
+
+/// Converts a serialized u64 count into a usize, rejecting values that do
+/// not fit the platform.
+pub(crate) fn checked_count(v: u64, what: &str) -> Result<usize> {
+    usize::try_from(v).map_err(|_| Error::invalid(format!("{what} does not fit this platform")))
+}
+
+/// Reads `count` little-endian u64 words without trusting `count` for an
+/// upfront allocation: the vector grows in bounded chunks, so a hostile
+/// header over a short stream fails with a read error after a small,
+/// bounded allocation instead of aborting on OOM.
+pub(crate) fn read_u64s<R: Read>(r: &mut R, count: usize) -> Result<Vec<u64>> {
+    const CHUNK: usize = 8 << 10;
+    let mut out = Vec::with_capacity(count.min(CHUNK));
+    let mut buf = [0u8; 8 * 256];
+    let mut left = count;
+    while left > 0 {
+        let batch = left.min(256);
+        let bytes = &mut buf[..8 * batch];
+        r.read_exact(bytes)?;
+        out.extend(
+            bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes"))),
+        );
+        left -= batch;
+    }
+    Ok(out)
+}
+
+/// Reads `count` little-endian f32 samples with the same bounded-growth
+/// strategy as [`read_u64s`].
+pub(crate) fn read_f32s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f32>> {
+    const CHUNK: usize = 16 << 10;
+    let mut out = Vec::with_capacity(count.min(CHUNK));
+    let mut buf = [0u8; 4 * 512];
+    let mut left = count;
+    while left > 0 {
+        let batch = left.min(512);
+        let bytes = &mut buf[..4 * batch];
+        r.read_exact(bytes)?;
+        out.extend(
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))),
+        );
+        left -= batch;
+    }
+    Ok(out)
 }
 
 /// Deserialises a dataset written by [`write_dataset`].
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic/version, inconsistent
-/// dimensions, or truncation.
-pub fn read_dataset<R: Read>(mut r: R) -> io::Result<Dataset> {
+/// Returns [`Error::InvalidData`] on a bad magic/version or implausible
+/// or overflowing dimensions, and [`Error::Io`] on truncation. Dimension
+/// products are computed with checked arithmetic and the payload is read
+/// incrementally, so a corrupt or hostile header cannot trigger an
+/// abort-on-OOM or a capacity overflow.
+pub fn read_dataset<R: Read>(mut r: R) -> Result<Dataset> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
         return Err(bad("not a falcon-down dataset (bad magic)"));
     }
-    let n = read_u64(&mut r)? as usize;
+    let n = checked_count(read_u64(&mut r)?, "ring degree")?;
     if !n.is_power_of_two() || !(2..=1 << 10).contains(&n) {
         return Err(bad("invalid ring degree"));
     }
-    let n_targets = read_u64(&mut r)? as usize;
-    let traces = read_u64(&mut r)? as usize;
+    let n_targets = checked_count(read_u64(&mut r)?, "target count")?;
+    let traces = checked_count(read_u64(&mut r)?, "trace count")?;
     if n_targets == 0 || n_targets > n || traces > 1 << 28 {
         return Err(bad("implausible dimensions"));
     }
+    let targets_u = read_u64s(&mut r, n_targets)?;
     let mut targets = Vec::with_capacity(n_targets);
-    for _ in 0..n_targets {
-        let t = read_u64(&mut r)? as usize;
+    for t in targets_u {
+        let t = checked_count(t, "target index")?;
         if t >= n {
             return Err(bad("target index out of range"));
         }
         targets.push(t);
     }
-    let mut knowns = Vec::with_capacity(traces * n_targets * 2);
-    for _ in 0..traces * n_targets * 2 {
-        knowns.push(read_u64(&mut r)?);
-    }
-    let points_len = traces * n_targets * crate::acquire::POINTS_PER_TARGET;
-    let mut points = Vec::with_capacity(points_len);
-    let mut buf = [0u8; 4];
-    for _ in 0..points_len {
-        r.read_exact(&mut buf)?;
-        points.push(f32::from_le_bytes(buf));
-    }
-    Ok(Dataset::from_raw_parts(n, targets, traces, knowns, points))
+    let known_len = traces
+        .checked_mul(n_targets)
+        .and_then(|v| v.checked_mul(2))
+        .ok_or_else(|| bad("known-operand count overflows"))?;
+    let points_len = traces
+        .checked_mul(n_targets)
+        .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
+        .ok_or_else(|| bad("sample count overflows"))?;
+    let knowns = read_u64s(&mut r, known_len)?;
+    let points = read_f32s(&mut r, points_len)?;
+    Dataset::try_from_raw_parts(n, targets, traces, knowns, points)
 }
 
 #[cfg(test)]
@@ -108,6 +158,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, 1.0),
             lowpass: 0.0,
             scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         let mut dev = Device::new(kp.into_parts().0, chain, b"io bench");
         let mut msgs = Prng::from_seed(b"io msgs");
@@ -165,6 +216,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, 0.5),
             lowpass: 0.0,
             scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         let mut dev = Device::new(kp.into_parts().0, chain, b"io attack");
         let mut msgs = Prng::from_seed(b"io attack msgs");

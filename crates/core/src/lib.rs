@@ -27,6 +27,7 @@
 //!     model: LeakageModel::hamming_weight(1.0, 0.5),
 //!     lowpass: 0.0,
 //!     scope: Scope { enabled: false, ..Default::default() },
+//!     ..Default::default()
 //! };
 //! let truth = kp.signing_key().f_fft()[0].to_bits();
 //! let mut device = Device::new(kp.into_parts().0, chain, b"bench");
@@ -40,19 +41,25 @@
 
 pub mod acquire;
 pub mod attack;
+pub mod campaign;
 pub mod confidence;
 pub mod countermeasure;
 pub mod cpa;
+pub mod error;
 pub mod io;
 pub mod model;
 pub mod ntt_attack;
 pub mod recover;
+pub mod screen;
 pub mod template;
 
 pub use acquire::Dataset;
+pub use attack::recover_sign_exponent;
 pub use attack::{
     monolithic_correlations, recover_all, recover_coefficient, AttackConfig, CoefficientResult,
     ComponentResult,
 };
-pub use attack::recover_sign_exponent;
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, CoefficientStatus};
+pub use error::{Error, Result};
 pub use recover::{invert_fft_f, key_from_fft_bits, recover_private_key, RecoveredKey};
+pub use screen::{AcquisitionStats, ScreenConfig};

@@ -71,11 +71,7 @@ pub fn product_step(secret: SecretHalf, known_high: bool) -> StepKind {
 /// word (the monolithic attack's model).
 pub fn hyp_partial_product(guess: u64, m_bits: u32, known_half: u32, full_width: u32) -> f64 {
     let prod = guess.wrapping_mul(known_half as u64);
-    let w = if m_bits >= full_width {
-        prod
-    } else {
-        prod & ((1u64 << m_bits) - 1)
-    };
+    let w = if m_bits >= full_width { prod } else { prod & ((1u64 << m_bits) - 1) };
     w.count_ones() as f64
 }
 
@@ -207,8 +203,7 @@ mod tests {
         let secret = 0x4012_3456_789A_BCDE;
         let known = KnownOperand::new(COEFF);
         let mut rec = RecordingObserver::new();
-        let _ =
-            Fpr::from_bits(secret).mul_observed(Fpr::from_bits(known.bits), &mut rec);
+        let _ = Fpr::from_bits(secret).mul_observed(Fpr::from_bits(known.bits), &mut rec);
         for (i, step) in rec.steps.iter().enumerate() {
             let kind = StepKind::ALL[i];
             assert_eq!(

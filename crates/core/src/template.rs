@@ -170,16 +170,20 @@ pub fn rank_by_likelihood<F: Fn(u64, &KnownOperand) -> u32>(
 /// log-likelihood margin over the alternative.
 pub fn template_sign(ds: &Dataset, target: usize, templates: &Templates) -> (u32, f64) {
     assert_eq!(templates.step(), StepKind::SignXor);
-    let ranked = rank_by_likelihood(ds, target, templates, &[0, 1], |cand, k| {
-        (cand as u32) ^ k.sign
-    });
+    let ranked =
+        rank_by_likelihood(ds, target, templates, &[0, 1], |cand, k| (cand as u32) ^ k.sign);
     (ranked[0].0 as u32, ranked[0].1 - ranked[1].1)
 }
 
 /// Smallest trace count at which the template sign recovery returns the
 /// correct value for every prefix onwards (the profiled analogue of
 /// traces-to-disclosure). `None` if never stable within the dataset.
-pub fn template_sign_stability(ds: &Dataset, target: usize, templates: &Templates, truth: u32) -> Option<usize> {
+pub fn template_sign_stability(
+    ds: &Dataset,
+    target: usize,
+    templates: &Templates,
+    truth: u32,
+) -> Option<usize> {
     let mut stable_from: Option<usize> = None;
     // Evaluate on a geometric grid to keep this O(D log D)-ish.
     let mut d = 4;
@@ -214,6 +218,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, noise),
             lowpass: 0.0,
             scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         Device::new(kp.into_parts().0, chain, b"template bench")
     }
@@ -249,13 +254,7 @@ mod tests {
     #[test]
     fn linear_extrapolation_fills_gaps() {
         // Observe only HW 10 and 20; HW 15 must interpolate between.
-        let obs = (0..200).map(|i| {
-            if i % 2 == 0 {
-                (10u32, 10.0f32)
-            } else {
-                (20u32, 20.0f32)
-            }
-        });
+        let obs = (0..200).map(|i| if i % 2 == 0 { (10u32, 10.0f32) } else { (20u32, 20.0f32) });
         let t = Templates::fit(StepKind::Pack, obs);
         assert!((t.mean[15] - 15.0).abs() < 1e-6);
         assert!((t.mean[30] - 30.0).abs() < 1e-6);

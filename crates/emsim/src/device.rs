@@ -1,5 +1,6 @@
 //! The victim device: FALCON signing under EM observation.
 
+use crate::faults::{FaultModel, FaultState};
 use crate::leakage::GaussianNoise;
 use crate::probe::MeasurementChain;
 use crate::trace::{Capture, MulOpLayout, Trace};
@@ -70,6 +71,7 @@ pub struct Device {
     cm: CountermeasureConfig,
     rng: Prng,
     noise: GaussianNoise,
+    faults: FaultState,
 }
 
 impl Device {
@@ -79,12 +81,15 @@ impl Device {
         s.extend_from_slice(b"/device");
         let mut n = Vec::from(seed);
         n.extend_from_slice(b"/noise");
+        let mut f = Vec::from(seed);
+        f.extend_from_slice(b"/faults");
         Device {
             sk,
             chain,
             cm: CountermeasureConfig::default(),
             rng: Prng::from_seed(&s),
             noise: GaussianNoise::from_seed(&n),
+            faults: FaultState::from_seed(&f),
         }
     }
 
@@ -92,6 +97,59 @@ impl Device {
     pub fn with_countermeasures(mut self, cm: CountermeasureConfig) -> Device {
         self.cm = cm;
         self
+    }
+
+    /// Enables acquisition fault injection.
+    pub fn with_faults(mut self, fm: FaultModel) -> Device {
+        self.chain.faults = fm;
+        self
+    }
+
+    /// The evolving fault-injection state (drifted gain, capture count).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// Size in bytes of [`Device::export_state`]'s output.
+    pub const STATE_LEN: usize = Prng::STATE_LEN + GaussianNoise::STATE_LEN + FaultState::STATE_LEN;
+
+    /// Exports the device's complete evolving state — salt PRNG, noise
+    /// source, fault stream — so a checkpointed campaign can later resume
+    /// with bit-identical captures. The signing key and the chain/
+    /// countermeasure configuration are *not* included; the caller
+    /// reconstructs the device from those and then restores this state.
+    pub fn export_state(&self) -> [u8; Self::STATE_LEN] {
+        let mut out = [0u8; Self::STATE_LEN];
+        out[..Prng::STATE_LEN].copy_from_slice(&self.rng.export_state());
+        out[Prng::STATE_LEN..Prng::STATE_LEN + GaussianNoise::STATE_LEN]
+            .copy_from_slice(&self.noise.export_state());
+        out[Prng::STATE_LEN + GaussianNoise::STATE_LEN..]
+            .copy_from_slice(&self.faults.export_state());
+        out
+    }
+
+    /// Restores the state captured by [`Device::export_state`]. Returns
+    /// `false` (leaving the device untouched) when the bytes are
+    /// malformed.
+    pub fn restore_state(&mut self, bytes: &[u8; Self::STATE_LEN]) -> bool {
+        let rng = Prng::import_state(bytes[..Prng::STATE_LEN].try_into().expect("len"));
+        let noise = GaussianNoise::import_state(
+            bytes[Prng::STATE_LEN..Prng::STATE_LEN + GaussianNoise::STATE_LEN]
+                .try_into()
+                .expect("len"),
+        );
+        let faults = FaultState::import_state(
+            bytes[Prng::STATE_LEN + GaussianNoise::STATE_LEN..].try_into().expect("len"),
+        );
+        match (rng, noise, faults) {
+            (Some(r), Some(n), Some(f)) => {
+                self.rng = r;
+                self.noise = n;
+                self.faults = f;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// The signing key (ground truth for experiments).
@@ -141,12 +199,8 @@ impl Device {
             let mut salt = [0u8; SALT_LEN];
             self.rng.fill(&mut salt);
             let model = self.effective_model();
-            let mut obs = LeakingObserver {
-                model,
-                noise: &mut self.noise,
-                prev: 0,
-                samples: Vec::new(),
-            };
+            let mut obs =
+                LeakingObserver { model, noise: &mut self.noise, prev: 0, samples: Vec::new() };
             // Note: with shuffling enabled the *signature* path still
             // processes coefficients in order (the countermeasure applies
             // to the device's pointwise loop, modelled in capture()).
@@ -155,6 +209,8 @@ impl Device {
             {
                 let mut samples = obs.samples;
                 self.chain.condition(&mut samples);
+                let fm = self.chain.faults;
+                self.faults.apply(&fm, &mut samples, self.chain.scope.full_scale);
                 let capture = Capture { salt, msg: msg.to_vec(), trace: Trace::new(samples) };
                 return (sig, capture);
             }
@@ -219,6 +275,10 @@ impl Device {
         drop(obs);
         self.noise = noise;
         self.chain.condition(&mut samples);
+        // A missed trigger clears the samples: the empty trace is the
+        // caller-visible signature of a dropped capture.
+        let fm = self.chain.faults;
+        self.faults.apply(&fm, &mut samples, self.chain.scope.full_scale);
         Trace::new(samples)
     }
 
@@ -245,6 +305,7 @@ mod tests {
             model: LeakageModel::hamming_weight(1.0, noise),
             lowpass: 0.0,
             scope: crate::probe::Scope { enabled: false, ..Default::default() },
+            ..Default::default()
         };
         Device::new(kp.into_parts().0, chain, b"bench seed")
     }
@@ -288,8 +349,11 @@ mod tests {
     #[test]
     fn shuffle_changes_sample_order_but_not_values() {
         let mut plain = bench_device(0.0);
-        let mut shuffled = bench_device(0.0)
-            .with_countermeasures(CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false });
+        let mut shuffled = bench_device(0.0).with_countermeasures(CountermeasureConfig {
+            shuffle: true,
+            extra_noise_sigma: 0.0,
+            masking: false,
+        });
         let a = plain.capture_with_salt(&[5u8; SALT_LEN], b"m");
         let b = shuffled.capture_with_salt(&[5u8; SALT_LEN], b"m");
         assert_eq!(a.len(), b.len());
@@ -331,6 +395,48 @@ mod tests {
         let _ = d.capture(b"warm up the masked path");
         let (sig, _) = d.sign_and_capture(b"masked message");
         assert!(vk.verify(b"masked message", &sig));
+    }
+
+    #[test]
+    fn faulty_device_drops_and_misaligns_traces() {
+        let fm =
+            FaultModel { drop_prob: 0.3, jitter_prob: 0.5, max_jitter: 2, ..Default::default() };
+        let mut d = bench_device(1.0).with_faults(fm);
+        let expected = d.layout().samples_per_trace();
+        let (mut dropped, mut full) = (0usize, 0usize);
+        for i in 0..60 {
+            let cap = d.capture(format!("m{i}").as_bytes());
+            if cap.trace.is_empty() {
+                dropped += 1;
+            } else {
+                assert_eq!(cap.trace.len(), expected, "jitter preserves length");
+                full += 1;
+            }
+        }
+        assert!(dropped > 0, "expected some missed triggers");
+        assert!(full > 0, "expected some surviving captures");
+        assert_eq!(d.fault_state().captures(), 60);
+    }
+
+    #[test]
+    fn device_state_roundtrip_resumes_campaign() {
+        let fm = crate::faults::FaultModel::noisy_bench();
+        let mut d = bench_device(2.0).with_faults(fm);
+        for i in 0..25 {
+            let _ = d.capture(format!("warmup {i}").as_bytes());
+        }
+        let state = d.export_state();
+        // A second device built the same way, fast-forwarded via the
+        // exported state, produces bit-identical captures.
+        let mut r = bench_device(2.0).with_faults(fm);
+        assert!(r.restore_state(&state));
+        for i in 0..30 {
+            let msg = format!("post {i}");
+            let a = d.capture(msg.as_bytes());
+            let b = r.capture(msg.as_bytes());
+            assert_eq!(a.salt, b.salt);
+            assert_eq!(a.trace, b.trace);
+        }
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Injected measurement faults.
+//!
+//! Real EM benches are not the clean environment the headline numbers
+//! assume: triggers are missed, the scope arms late or early, glitch
+//! bursts from neighbouring switching activity land inside the window,
+//! the ADC saturates when the probe drifts closer to the die, and the
+//! whole chain's gain wanders over a multi-hour campaign. This module
+//! injects those effects deterministically (seeded from the device
+//! seed), so the attacker-side screening and the adaptive campaign
+//! driver can be tested against realistic fault regimes and campaigns
+//! remain bit-for-bit reproducible.
+//!
+//! Every fault has an independent probability/magnitude knob; a
+//! default-constructed [`FaultModel`] injects nothing.
+
+use falcon_sig::rng::Prng;
+
+/// Per-capture fault probabilities and magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultModel {
+    /// Probability a capture is lost entirely (missed trigger): the
+    /// returned trace is empty.
+    pub drop_prob: f64,
+    /// Probability the scope arms early/late, shifting the recorded
+    /// window by a random nonzero offset of at most
+    /// [`FaultModel::max_jitter`] samples.
+    pub jitter_prob: f64,
+    /// Maximum misalignment magnitude, in samples.
+    pub max_jitter: usize,
+    /// Probability of an amplitude glitch burst landing in the window.
+    pub glitch_prob: f64,
+    /// Peak amplitude of an injected glitch burst.
+    pub glitch_amplitude: f64,
+    /// Number of consecutive samples a glitch burst covers.
+    pub glitch_len: usize,
+    /// Probability the ADC saturates for the whole capture (all samples
+    /// pinned to the rails).
+    pub saturation_prob: f64,
+    /// Relative per-capture random-walk step of the chain gain
+    /// (e.g. `1e-4` drifts the gain by ~1 % over a 10k-trace campaign).
+    pub gain_drift_per_trace: f64,
+}
+
+impl FaultModel {
+    /// True when at least one fault can fire.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || (self.jitter_prob > 0.0 && self.max_jitter > 0)
+            || (self.glitch_prob > 0.0 && self.glitch_len > 0)
+            || self.saturation_prob > 0.0
+            || self.gain_drift_per_trace != 0.0
+    }
+
+    /// A bench in poor shape: 5 % missed triggers, ±2-sample jitter on a
+    /// fifth of the captures, 1 % glitch bursts, occasional full-scale
+    /// saturation and a slow gain drift — the regime the robustness
+    /// experiments (EXPERIMENTS.md §F) are run under.
+    pub fn noisy_bench() -> FaultModel {
+        FaultModel {
+            drop_prob: 0.05,
+            jitter_prob: 0.20,
+            max_jitter: 2,
+            glitch_prob: 0.01,
+            glitch_amplitude: 60.0,
+            glitch_len: 5,
+            saturation_prob: 0.01,
+            gain_drift_per_trace: 1e-4,
+        }
+    }
+}
+
+/// The evolving per-device fault state: its own deterministic stream,
+/// the drifting chain gain, and the capture counter.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    rng: Prng,
+    gain: f64,
+    captures: u64,
+}
+
+impl FaultState {
+    /// Size in bytes of [`FaultState::export_state`]'s output.
+    pub const STATE_LEN: usize = Prng::STATE_LEN + 16;
+
+    /// Creates the fault stream for a device seed.
+    pub fn from_seed(seed: &[u8]) -> FaultState {
+        FaultState { rng: Prng::from_seed(seed), gain: 1.0, captures: 0 }
+    }
+
+    /// Number of captures the state has been applied to.
+    pub fn captures(&self) -> u64 {
+        self.captures
+    }
+
+    /// Current (drifted) chain gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.uniform() < p
+    }
+
+    /// Applies one capture's worth of faults to `samples` in place.
+    /// `rail` is the ADC full-scale magnitude (saturation clamps there).
+    ///
+    /// Returns `false` when the trigger was missed — the caller should
+    /// hand back an empty trace.
+    pub fn apply(&mut self, fm: &FaultModel, samples: &mut Vec<f32>, rail: f64) -> bool {
+        self.captures += 1;
+        // Gain drift advances with wall-clock (i.e. every capture), even
+        // across missed triggers.
+        if fm.gain_drift_per_trace != 0.0 {
+            self.gain *= 1.0 + fm.gain_drift_per_trace * (2.0 * self.uniform() - 1.0);
+        }
+        if self.chance(fm.drop_prob) {
+            samples.clear();
+            return false;
+        }
+        if self.gain != 1.0 {
+            for v in samples.iter_mut() {
+                *v = (*v as f64 * self.gain) as f32;
+            }
+        }
+        if fm.max_jitter > 0 && self.chance(fm.jitter_prob) {
+            let mag = 1 + (self.rng.below(fm.max_jitter as u64)) as usize;
+            let left = self.rng.next_u64() & 1 == 0;
+            shift_in_place(samples, mag, left);
+        }
+        if fm.glitch_len > 0 && self.chance(fm.glitch_prob) && !samples.is_empty() {
+            let start = self.rng.below(samples.len() as u64) as usize;
+            for (k, v) in samples[start..].iter_mut().take(fm.glitch_len).enumerate() {
+                let spike = fm.glitch_amplitude * if k & 1 == 0 { 1.0 } else { -1.0 };
+                *v = ((*v as f64 + spike).clamp(-rail, rail)) as f32;
+            }
+        }
+        if self.chance(fm.saturation_prob) {
+            for v in samples.iter_mut() {
+                *v = if *v < 0.0 { -rail as f32 } else { rail as f32 };
+            }
+        }
+        true
+    }
+
+    /// Exports the fault stream state for campaign checkpointing.
+    pub fn export_state(&self) -> [u8; Self::STATE_LEN] {
+        let mut out = [0u8; Self::STATE_LEN];
+        out[..Prng::STATE_LEN].copy_from_slice(&self.rng.export_state());
+        out[Prng::STATE_LEN..Prng::STATE_LEN + 8].copy_from_slice(&self.gain.to_le_bytes());
+        out[Prng::STATE_LEN + 8..].copy_from_slice(&self.captures.to_le_bytes());
+        out
+    }
+
+    /// Rebuilds a fault stream from [`FaultState::export_state`] output;
+    /// `None` on a malformed state.
+    pub fn import_state(bytes: &[u8; Self::STATE_LEN]) -> Option<FaultState> {
+        let rng = Prng::import_state(bytes[..Prng::STATE_LEN].try_into().expect("state len"))?;
+        let gain =
+            f64::from_le_bytes(bytes[Prng::STATE_LEN..Prng::STATE_LEN + 8].try_into().expect("8"));
+        let captures = u64::from_le_bytes(bytes[Prng::STATE_LEN + 8..].try_into().expect("8"));
+        if !gain.is_finite() {
+            return None;
+        }
+        Some(FaultState { rng, gain, captures })
+    }
+}
+
+/// Shifts a sample window by `mag` positions (left = the content moves
+/// toward index 0), zero-filling the vacated edge — the pre/post-trigger
+/// baseline a real scope records when it arms at the wrong time.
+fn shift_in_place(samples: &mut [f32], mag: usize, left: bool) {
+    let len = samples.len();
+    if mag == 0 || mag >= len {
+        samples.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    if left {
+        samples.copy_within(mag.., 0);
+        samples[len - mag..].iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        samples.copy_within(..len - mag, mag);
+        samples[..mag].iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32 + 1.0).collect()
+    }
+
+    #[test]
+    fn inactive_model_changes_nothing() {
+        let fm = FaultModel::default();
+        assert!(!fm.is_active());
+        let mut st = FaultState::from_seed(b"inactive");
+        let mut v = ramp(32);
+        let orig = v.clone();
+        for _ in 0..10 {
+            assert!(st.apply(&fm, &mut v, 100.0));
+        }
+        assert_eq!(v, orig);
+        assert_eq!(st.captures(), 10);
+    }
+
+    #[test]
+    fn drop_rate_matches_probability() {
+        let fm = FaultModel { drop_prob: 0.25, ..Default::default() };
+        let mut st = FaultState::from_seed(b"droprate");
+        let mut dropped = 0;
+        for _ in 0..4000 {
+            let mut v = ramp(8);
+            if !st.apply(&fm, &mut v, 100.0) {
+                assert!(v.is_empty());
+                dropped += 1;
+            }
+        }
+        let rate = dropped as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate={rate}");
+    }
+
+    #[test]
+    fn jitter_shifts_and_zero_fills() {
+        let fm = FaultModel { jitter_prob: 1.0, max_jitter: 3, ..Default::default() };
+        let mut st = FaultState::from_seed(b"jitter");
+        let mut saw_shift = false;
+        for _ in 0..20 {
+            let mut v = ramp(16);
+            assert!(st.apply(&fm, &mut v, 100.0));
+            assert_eq!(v.len(), 16);
+            if v != ramp(16) {
+                saw_shift = true;
+                // Zero-filled edge on one side.
+                assert!(v.first() == Some(&0.0) || v.last() == Some(&0.0));
+            }
+        }
+        assert!(saw_shift);
+    }
+
+    #[test]
+    fn saturation_pins_to_rails() {
+        let fm = FaultModel { saturation_prob: 1.0, ..Default::default() };
+        let mut st = FaultState::from_seed(b"sat");
+        let mut v = vec![-3.0f32, 0.0, 7.5, -0.1];
+        assert!(st.apply(&fm, &mut v, 50.0));
+        assert_eq!(v, vec![-50.0, 50.0, 50.0, -50.0]);
+    }
+
+    #[test]
+    fn gain_drift_is_a_slow_walk() {
+        let fm = FaultModel { gain_drift_per_trace: 1e-3, ..Default::default() };
+        let mut st = FaultState::from_seed(b"drift");
+        for _ in 0..1000 {
+            let mut v = ramp(4);
+            st.apply(&fm, &mut v, 100.0);
+        }
+        let g = st.gain();
+        assert!(g != 1.0 && (g - 1.0).abs() < 0.1, "gain={g}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fm = FaultModel::noisy_bench();
+        let mut a = FaultState::from_seed(b"same");
+        let mut b = FaultState::from_seed(b"same");
+        for _ in 0..200 {
+            let mut va = ramp(64);
+            let mut vb = ramp(64);
+            assert_eq!(a.apply(&fm, &mut va, 100.0), b.apply(&fm, &mut vb, 100.0));
+            assert_eq!(va, vb);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_fault_stream() {
+        let fm = FaultModel::noisy_bench();
+        let mut st = FaultState::from_seed(b"resume");
+        for _ in 0..77 {
+            let mut v = ramp(32);
+            st.apply(&fm, &mut v, 100.0);
+        }
+        let mut resumed = FaultState::import_state(&st.export_state()).expect("valid");
+        assert_eq!(resumed.captures(), st.captures());
+        for _ in 0..200 {
+            let mut va = ramp(32);
+            let mut vb = ramp(32);
+            assert_eq!(st.apply(&fm, &mut va, 100.0), resumed.apply(&fm, &mut vb, 100.0));
+            assert_eq!(va, vb);
+        }
+    }
+}

@@ -72,6 +72,35 @@ impl GaussianNoise {
         GaussianNoise { rng, spare: None }
     }
 
+    /// Size in bytes of [`GaussianNoise::export_state`]'s output.
+    pub const STATE_LEN: usize = Prng::STATE_LEN + 9;
+
+    /// Exports the full noise-source state (underlying PRNG plus the
+    /// buffered Box–Muller spare) for campaign checkpointing.
+    pub fn export_state(&self) -> [u8; Self::STATE_LEN] {
+        let mut out = [0u8; Self::STATE_LEN];
+        out[..Prng::STATE_LEN].copy_from_slice(&self.rng.export_state());
+        if let Some(v) = self.spare {
+            out[Prng::STATE_LEN] = 1;
+            out[Prng::STATE_LEN + 1..].copy_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a noise source from [`GaussianNoise::export_state`]
+    /// output; `None` on a malformed state.
+    pub fn import_state(bytes: &[u8; Self::STATE_LEN]) -> Option<GaussianNoise> {
+        let rng = Prng::import_state(bytes[..Prng::STATE_LEN].try_into().expect("state len"))?;
+        let spare = match bytes[Prng::STATE_LEN] {
+            0 => None,
+            1 => {
+                Some(f64::from_le_bytes(bytes[Prng::STATE_LEN + 1..].try_into().expect("8 bytes")))
+            }
+            _ => return None,
+        };
+        Some(GaussianNoise { rng, spare })
+    }
+
     /// Next standard-normal variate.
     #[allow(clippy::should_implement_trait)] // infinite stream, not an Iterator
     pub fn next(&mut self) -> f64 {

@@ -15,16 +15,21 @@
 //! * [`device`] — the victim: holds a [`falcon_sig::SigningKey`] and
 //!   produces signature traces, optionally with hiding/shuffling
 //!   countermeasures;
+//! * [`faults`] — deterministic acquisition faults (missed triggers,
+//!   trigger jitter, glitch bursts, ADC saturation, gain drift) for
+//!   exercising the attacker-side screening and campaign logic;
 //! * [`ntt_leak`] — the same leakage model applied to an NTT-based
 //!   implementation, for the paper's §V.C FFT-vs-NTT comparison.
 
 pub mod device;
+pub mod faults;
 pub mod leakage;
 pub mod ntt_leak;
 pub mod probe;
 pub mod trace;
 
 pub use device::{CountermeasureConfig, Device};
-pub use leakage::LeakageModel;
+pub use faults::{FaultModel, FaultState};
+pub use leakage::{GaussianNoise, LeakageModel};
 pub use probe::{MeasurementChain, Scope};
 pub use trace::{Capture, MulOpLayout, StepKind, Trace};

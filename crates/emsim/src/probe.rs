@@ -43,6 +43,9 @@ pub struct MeasurementChain {
     pub lowpass: f64,
     /// Digitiser.
     pub scope: Scope,
+    /// Acquisition fault injection (missed triggers, jitter, glitches,
+    /// saturation, gain drift); default injects nothing.
+    pub faults: crate::faults::FaultModel,
 }
 
 impl MeasurementChain {
@@ -86,7 +89,7 @@ mod tests {
     #[test]
     fn disabled_scope_passthrough() {
         let s = Scope { enabled: false, ..Scope::default() };
-        assert_eq!(s.quantize(2.71828), 2.71828f32);
+        assert_eq!(s.quantize(2.71813), 2.71813f32);
     }
 
     #[test]

@@ -113,10 +113,23 @@ pub struct MulOpLayout {
 }
 
 impl MulOpLayout {
+    /// Layout for ring degree `n`, if `n` is a supported power of two.
+    pub fn try_new(n: usize) -> Option<MulOpLayout> {
+        (n.is_power_of_two() && n >= 2).then_some(MulOpLayout { n })
+    }
+
     /// Layout for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is not a power of two ≥ 2; see
+    /// [`MulOpLayout::try_new`] for the fallible variant.
+    #[track_caller]
     pub fn new(n: usize) -> MulOpLayout {
-        assert!(n.is_power_of_two() && n >= 2);
-        MulOpLayout { n }
+        match MulOpLayout::try_new(n) {
+            Some(l) => l,
+            None => panic!("ring degree {n} is not a supported power of two"),
+        }
     }
 
     /// Ring degree.
@@ -137,16 +150,27 @@ impl MulOpLayout {
     /// Order of the four multiplications of complex coefficient `j`:
     /// `re(f)·re(c)`, `im(f)·im(c)`, `re(f)·im(c)`, `im(f)·re(c)`.
     pub fn muls_for_secret(&self, secret: usize) -> [(usize, usize); 2] {
+        match self.try_muls_for_secret(secret) {
+            Some(m) => m,
+            None => panic!("secret index {secret} out of range for n={}", self.n),
+        }
+    }
+
+    /// Fallible variant of [`MulOpLayout::muls_for_secret`]: `None` when
+    /// `secret` is out of range for the degree.
+    pub fn try_muls_for_secret(&self, secret: usize) -> Option<[(usize, usize); 2]> {
+        if secret >= self.n {
+            return None;
+        }
         let hn = self.n / 2;
-        assert!(secret < self.n);
-        if secret < hn {
+        Some(if secret < hn {
             // Real part of coefficient j = secret.
             let j = secret;
             [(4 * j, j), (4 * j + 2, j + hn)]
         } else {
             let j = secret - hn;
             [(4 * j + 1, secret), (4 * j + 3, j)]
-        }
+        })
     }
 
     /// Absolute sample index of `step` within multiplication `mul_idx`.

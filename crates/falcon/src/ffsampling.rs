@@ -8,8 +8,8 @@
 //! coordinate from [`sampler_z`].
 
 use crate::fft::{
-    poly_add, poly_merge_fft, poly_mul_fft, poly_muladj_fft, poly_split_fft, poly_sub, set,
-    at, Cplx,
+    at, poly_add, poly_merge_fft, poly_mul_fft, poly_muladj_fft, poly_split_fft, poly_sub, set,
+    Cplx,
 };
 use crate::rng::Prng;
 use crate::sampler::sampler_z;

@@ -7,13 +7,11 @@
 //! reduction, and derives the public key `h = g·f⁻¹ mod q`, the
 //! FFT-domain secret basis `B̂` and the ffLDL* sampling tree.
 
-use crate::fft::{fft, poly_from_ints, poly_neg};
 use crate::ffsampling::{gram, LdlTree};
+use crate::fft::{fft, poly_from_ints, poly_neg};
 use crate::ntt::NttTables;
 use crate::params::{LogN, Q};
-use crate::poly_big::{
-    self, babai_reduce, field_norm, galois_conjugate, lift, PolyZ,
-};
+use crate::poly_big::{self, babai_reduce, field_norm, galois_conjugate, lift, PolyZ};
 use crate::rng::Prng;
 use crate::sign::{sign_inner, Signature};
 use crate::zint::Zint;
@@ -57,10 +55,8 @@ pub fn ntru_solve(f: &[Zint], g: &[Zint]) -> Option<(PolyZ, PolyZ)> {
 /// Checks `f·G − g·F = q` exactly.
 pub fn ntru_equation_holds(f: &[i16], g: &[i16], capf: &[i16], capg: &[i16]) -> bool {
     let to_z = |v: &[i16]| -> PolyZ { v.iter().map(|&c| Zint::from_i64(c as i64)).collect() };
-    let lhs = poly_big::sub(
-        &poly_big::mul(&to_z(f), &to_z(capg)),
-        &poly_big::mul(&to_z(g), &to_z(capf)),
-    );
+    let lhs =
+        poly_big::sub(&poly_big::mul(&to_z(f), &to_z(capg)), &poly_big::mul(&to_z(g), &to_z(capf)));
     if lhs[0].to_i64() != Some(Q as i64) {
         return false;
     }
@@ -97,11 +93,7 @@ fn sample_fg(logn: LogN, rng: &mut Prng) -> Vec<i16> {
 /// most `1.17²·q`.
 fn gs_norm_ok(f: &[i16], g: &[i16]) -> bool {
     let bound = 1.17 * 1.17 * Q as f64;
-    let sq: f64 = f
-        .iter()
-        .chain(g.iter())
-        .map(|&c| (c as f64) * (c as f64))
-        .sum();
+    let sq: f64 = f.iter().chain(g.iter()).map(|&c| (c as f64) * (c as f64)).sum();
     if sq > bound {
         return false;
     }
@@ -186,9 +178,7 @@ impl KeyPair {
         let to_z = |v: &[i16]| -> PolyZ { v.iter().map(|&c| Zint::from_i64(c as i64)).collect() };
         let (capf_z, capg_z) = ntru_solve(&to_z(f), &to_z(g))?;
         let cap_to_i16 = |p: &PolyZ| -> Option<Vec<i16>> {
-            p.iter()
-                .map(|c| c.to_i64().and_then(|v| i16::try_from(v).ok()))
-                .collect()
+            p.iter().map(|c| c.to_i64().and_then(|v| i16::try_from(v).ok())).collect()
         };
         let capf = cap_to_i16(&capf_z)?;
         let capg = cap_to_i16(&capg_z)?;
@@ -321,7 +311,12 @@ impl SigningKey {
     /// Signs a message while reporting the micro-operations of the
     /// `FFT(c) ⊙ FFT(f)` pointwise multiplication — the computation the
     /// *Falcon Down* attack measures — to `obs`.
-    pub fn sign_traced<O: MulObserver>(&self, msg: &[u8], rng: &mut Prng, obs: &mut O) -> Signature {
+    pub fn sign_traced<O: MulObserver>(
+        &self,
+        msg: &[u8],
+        rng: &mut Prng,
+        obs: &mut O,
+    ) -> Signature {
         sign_inner(self, msg, rng, obs)
     }
 }
@@ -361,9 +356,7 @@ mod tests {
     fn ntru_solve_base_case() {
         // f = 3, g = 2 (coprime): 3G - 2F = 12289.
         let (capf, capg) = ntru_solve(&to_z(&[3]), &to_z(&[2])).expect("coprime");
-        let lhs = Zint::from_i64(3)
-            .mul(&capg[0])
-            .sub(&Zint::from_i64(2).mul(&capf[0]));
+        let lhs = Zint::from_i64(3).mul(&capg[0]).sub(&Zint::from_i64(2).mul(&capf[0]));
         assert_eq!(lhs.to_i64(), Some(12289));
     }
 
@@ -386,10 +379,7 @@ mod tests {
                 let gz: PolyZ = g.iter().map(|&c| Zint::from_i64(c as i64)).collect();
                 if let Some((capf, capg)) = ntru_solve(&fz, &gz) {
                     // Exact equation check over Zint.
-                    let lhs = poly_big::sub(
-                        &poly_big::mul(&fz, &capg),
-                        &poly_big::mul(&gz, &capf),
-                    );
+                    let lhs = poly_big::sub(&poly_big::mul(&fz, &capg), &poly_big::mul(&gz, &capf));
                     assert_eq!(lhs[0].to_i64(), Some(Q as i64), "logn={:?}", logn);
                     assert!(lhs[1..].iter().all(Zint::is_zero));
                     solved += 1;

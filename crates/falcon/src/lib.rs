@@ -33,8 +33,8 @@
 //! ```
 
 pub mod codec;
-pub mod fft;
 pub mod ffsampling;
+pub mod fft;
 pub mod hash;
 pub mod keygen;
 pub mod keys;

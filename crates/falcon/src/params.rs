@@ -88,7 +88,9 @@ impl LogN {
     /// for FALCON-1024.
     pub fn sig_bytes(self) -> usize {
         let sh = 10 - self.0;
-        (44 + 3 * (256usize >> sh) + 2 * (128usize >> sh) + 3 * (64usize >> sh)
+        (44 + 3 * (256usize >> sh)
+            + 2 * (128usize >> sh)
+            + 3 * (64usize >> sh)
             + 2 * (16usize >> sh))
             .saturating_sub(2 * (2usize >> sh) + 8 * (1usize >> sh))
     }

@@ -20,11 +20,7 @@ pub fn norm_sq(polys: &[&[i16]]) -> u64 {
 pub fn mul_mod_q_centered(a: &[i16], b: &[u16], tables: &NttTables) -> Vec<i16> {
     let av: Vec<u32> = a.iter().map(|&v| mq_from_signed(v as i32)).collect();
     let bv: Vec<u32> = b.iter().map(|&v| v as u32).collect();
-    tables
-        .poly_mul(&av, &bv)
-        .into_iter()
-        .map(|v| mq_to_signed(v) as i16)
-        .collect()
+    tables.poly_mul(&av, &bv).into_iter().map(|v| mq_to_signed(v) as i16).collect()
 }
 
 /// Reduces an unsigned `[0, q)` polynomial to centered signed form.

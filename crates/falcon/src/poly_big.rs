@@ -56,10 +56,7 @@ pub fn mul(a: &[Zint], b: &[Zint]) -> PolyZ {
 
 /// The Galois conjugate `f(−x)`: negates odd-index coefficients.
 pub fn galois_conjugate(f: &[Zint]) -> PolyZ {
-    f.iter()
-        .enumerate()
-        .map(|(i, c)| if i % 2 == 1 { c.negated() } else { c.clone() })
-        .collect()
+    f.iter().enumerate().map(|(i, c)| if i % 2 == 1 { c.negated() } else { c.clone() }).collect()
 }
 
 /// The field norm `N(f)` relative to the subring `Z[y]/(y^{m/2}+1)`,

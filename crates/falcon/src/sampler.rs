@@ -24,8 +24,9 @@ fn rcdt() -> &'static [u128; RCDT_LEN] {
     static TABLE: OnceLock<[u128; RCDT_LEN]> = OnceLock::new();
     TABLE.get_or_init(|| {
         let sigma0 = 1.8205f64;
-        let weights: Vec<f64> =
-            (0..RCDT_LEN + 24).map(|k| (-((k * k) as f64) / (2.0 * sigma0 * sigma0)).exp()).collect();
+        let weights: Vec<f64> = (0..RCDT_LEN + 24)
+            .map(|k| (-((k * k) as f64) / (2.0 * sigma0 * sigma0)).exp())
+            .collect();
         let total: f64 = weights.iter().sum();
         let mut table = [0u128; RCDT_LEN];
         let scale = 2f64.powi(72);
@@ -182,7 +183,8 @@ mod tests {
             let mut sum = 0f64;
             let n = 20_000;
             for _ in 0..n {
-                sum += sampler_z(&mut rng, Fpr::from(mu), Fpr::from(1.0 / 1.7), Fpr::from(1.2)) as f64;
+                sum +=
+                    sampler_z(&mut rng, Fpr::from(mu), Fpr::from(1.0 / 1.7), Fpr::from(1.2)) as f64;
             }
             let mean = sum / n as f64;
             assert!((mean - mu).abs() < 0.06, "mu={mu} mean={mean}");

@@ -31,9 +31,8 @@ const RC: [u64; 24] = [
 ];
 
 /// Rotation offsets, indexed `[x + 5y]`.
-const RHO: [u32; 25] = [
-    0, 1, 62, 28, 27, 36, 44, 6, 55, 20, 3, 10, 43, 25, 39, 41, 45, 15, 21, 8, 18, 2, 61, 56, 14,
-];
+const RHO: [u32; 25] =
+    [0, 1, 62, 28, 27, 36, 44, 6, 55, 20, 3, 10, 43, 25, 39, 41, 45, 15, 21, 8, 18, 2, 61, 56, 14];
 
 /// SHAKE256 rate in bytes.
 const RATE: usize = 136;
@@ -172,10 +171,7 @@ mod tests {
         // SHAKE256(""), first 32 bytes (FIPS 202 reference value).
         let mut out = [0u8; 32];
         Shake256::digest(b"", &mut out);
-        assert_eq!(
-            hex(&out),
-            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
-        );
+        assert_eq!(hex(&out), "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f");
     }
 
     #[test]
@@ -183,10 +179,7 @@ mod tests {
         // SHAKE256("abc"), first 32 bytes.
         let mut out = [0u8; 32];
         Shake256::digest(b"abc", &mut out);
-        assert_eq!(
-            hex(&out),
-            "483366601360a8771c6863080cc4114d8db44530f8f1e1ee4f94ea37e78b5739"
-        );
+        assert_eq!(hex(&out), "483366601360a8771c6863080cc4114d8db44530f8f1e1ee4f94ea37e78b5739");
     }
 
     #[test]
@@ -198,7 +191,10 @@ mod tests {
         a.squeeze(&mut out_a);
 
         let mut out_b = [0u8; 64];
-        Shake256::digest(b"hello world, this is a message long enough to cross nothing", &mut out_b);
+        Shake256::digest(
+            b"hello world, this is a message long enough to cross nothing",
+            &mut out_b,
+        );
         assert_eq!(out_a, out_b);
     }
 

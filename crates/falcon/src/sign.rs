@@ -1,10 +1,10 @@
 //! Signature generation (the paper's Algorithm 2).
 
 use crate::codec::compress;
+use crate::ffsampling::ff_sampling;
 use crate::fft::{
     fft, ifft, poly_add, poly_mul_fft, poly_mul_fft_observed, poly_mulconst, poly_neg, poly_sub,
 };
-use crate::ffsampling::ff_sampling;
 use crate::hash::hash_to_point;
 use crate::keygen::SigningKey;
 use crate::params::{LogN, SALT_LEN};

@@ -240,8 +240,7 @@ impl Zint {
 
     /// Signed multiplication.
     pub fn mul(&self, other: &Zint) -> Zint {
-        let mut z =
-            Zint { neg: self.neg != other.neg, mag: Self::mul_mag(&self.mag, &other.mag) };
+        let mut z = Zint { neg: self.neg != other.neg, mag: Self::mul_mag(&self.mag, &other.mag) };
         z.trim();
         z
     }

@@ -62,11 +62,11 @@ fn fft_product_is_exact_for_small_inputs() {
     let via_fft = product_via_fft(&a, &b);
     // Schoolbook oracle.
     let mut want = vec![0i64; n];
-    for i in 0..n {
-        for j in 0..n {
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
             let k = (i + j) % n;
             let s = if i + j >= n { -1 } else { 1 };
-            want[k] += s * a[i] * b[j];
+            want[k] += s * ai * bj;
         }
     }
     assert_eq!(via_fft, want);

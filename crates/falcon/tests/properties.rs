@@ -1,75 +1,117 @@
 //! Property-based tests for the FALCON substrates.
+//!
+//! The properties are exercised over deterministic seeded case streams
+//! (the build environment has no network access for an external
+//! property-testing harness; a splitmix64 generator stands in).
 
+use falcon_fpr::Fpr;
 use falcon_sig::codec::{compress, decompress};
 use falcon_sig::fft::{fft, ifft, poly_add, poly_mul_fft};
 use falcon_sig::ntt::{mq_add, mq_mul, NttTables};
 use falcon_sig::params::Q;
 use falcon_sig::zint::Zint;
-use falcon_fpr::Fpr;
-use proptest::prelude::*;
 
-proptest! {
-    // ---------------- zint vs i128 oracle ----------------
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
-    #[test]
-    fn zint_ring_ops_match_i128(a in any::<i64>(), b in any::<i64>(), sh in 0u32..80) {
+/// Uniform value in `[lo, hi]` (inclusive).
+fn in_range(state: &mut u64, lo: i64, hi: i64) -> i64 {
+    let span = (hi - lo) as u64 + 1;
+    lo + (splitmix(state) % span) as i64
+}
+
+const CASES: usize = 256;
+
+// ---------------- zint vs i128 oracle ----------------
+
+#[test]
+fn zint_ring_ops_match_i128() {
+    let mut st = 0x7A696E74u64;
+    for _ in 0..CASES {
+        let a = splitmix(&mut st) as i64;
+        let b = splitmix(&mut st) as i64;
+        let sh = (splitmix(&mut st) % 80) as u32;
         let (za, zb) = (Zint::from_i64(a), Zint::from_i64(b));
-        prop_assert_eq!(za.add(&zb).to_i64(), a.checked_add(b));
-        prop_assert_eq!(za.sub(&zb).to_i64(), a.checked_sub(b));
+        assert_eq!(za.add(&zb).to_i64(), a.checked_add(b));
+        assert_eq!(za.sub(&zb).to_i64(), a.checked_sub(b));
         let p = (a as i128) * (b as i128);
         if let Ok(p64) = i64::try_from(p) {
-            prop_assert_eq!(za.mul(&zb).to_i64(), Some(p64));
+            assert_eq!(za.mul(&zb).to_i64(), Some(p64));
         }
         // shl/shr inverse on magnitudes.
-        prop_assert_eq!(za.shl(sh).shr(sh).to_i64(), Some(a));
+        assert_eq!(za.shl(sh).shr(sh).to_i64(), Some(a));
     }
+}
 
-    #[test]
-    fn zint_divmod_invariant(a in 0i64..i64::MAX, b in 1i64..i64::MAX) {
+#[test]
+fn zint_divmod_invariant() {
+    let mut st = 0x64697621u64;
+    for _ in 0..CASES {
+        let a = (splitmix(&mut st) as i64).unsigned_abs() as i64 & i64::MAX;
+        let b = 1 + ((splitmix(&mut st) as i64).unsigned_abs() as i64 & (i64::MAX - 1));
         let (q, r) = Zint::from_i64(a).divmod(&Zint::from_i64(b));
-        prop_assert_eq!(q.to_i64(), Some(a / b));
-        prop_assert_eq!(r.to_i64(), Some(a % b));
+        assert_eq!(q.to_i64(), Some(a / b), "a={a} b={b}");
+        assert_eq!(r.to_i64(), Some(a % b), "a={a} b={b}");
     }
+}
 
-    #[test]
-    fn zint_xgcd_bezout_holds(a in 0i64..1_000_000, b in 0i64..1_000_000) {
+#[test]
+fn zint_xgcd_bezout_holds() {
+    let mut st = 0x78676364u64;
+    for _ in 0..CASES {
+        let a = in_range(&mut st, 0, 999_999);
+        let b = in_range(&mut st, 0, 999_999);
         let (g, u, v) = Zint::xgcd(&Zint::from_i64(a), &Zint::from_i64(b));
         let lhs = Zint::from_i64(a).mul(&u).add(&Zint::from_i64(b).mul(&v));
-        prop_assert_eq!(lhs, g);
+        assert_eq!(lhs, g, "a={a} b={b}");
     }
+}
 
-    // ---------------- signature codec ----------------
+// ---------------- signature codec ----------------
 
-    #[test]
-    fn codec_roundtrips_any_valid_vector(s in prop::collection::vec(-2047i16..=2047, 1..128)) {
+#[test]
+fn codec_roundtrips_any_valid_vector() {
+    let mut st = 0x636F6465u64;
+    for _ in 0..CASES {
+        let len = in_range(&mut st, 1, 127) as usize;
+        let s: Vec<i16> = (0..len).map(|_| in_range(&mut st, -2047, 2047) as i16).collect();
         let budget = 2 * s.len() + 32;
         let bytes = compress(&s, budget).expect("generous budget");
-        prop_assert_eq!(bytes.len(), budget);
-        prop_assert_eq!(decompress(&bytes, s.len()), Some(s));
+        assert_eq!(bytes.len(), budget);
+        assert_eq!(decompress(&bytes, s.len()), Some(s));
     }
+}
 
-    #[test]
-    fn codec_rejects_bitflips_or_preserves_values(
-        s in prop::collection::vec(-400i16..=400, 4..32),
-        flip_byte in 0usize..16,
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn codec_rejects_bitflips_or_preserves_values() {
+    let mut st = 0x666C6970u64;
+    for _ in 0..CASES {
+        let len = in_range(&mut st, 4, 31) as usize;
+        let s: Vec<i16> = (0..len).map(|_| in_range(&mut st, -400, 400) as i16).collect();
         let budget = 2 * s.len() + 8;
         let mut bytes = compress(&s, budget).expect("fits");
-        let idx = flip_byte % bytes.len();
-        bytes[idx] ^= 1 << flip_bit;
+        let idx = (splitmix(&mut st) as usize) % bytes.len();
+        let bit = (splitmix(&mut st) % 8) as u8;
+        bytes[idx] ^= 1 << bit;
         // A flipped encoding either fails to parse or parses to some
         // other vector — but never panics.
         let _ = decompress(&bytes, s.len());
     }
+}
 
-    // ---------------- FFT algebra ----------------
+// ---------------- FFT algebra ----------------
 
-    #[test]
-    fn fft_is_linear(
-        a in prop::collection::vec(-100i64..=100, 8usize..=8),
-        b in prop::collection::vec(-100i64..=100, 8usize..=8),
-    ) {
+#[test]
+fn fft_is_linear() {
+    let mut st = 0x6C696E65u64;
+    for _ in 0..CASES {
+        let a: Vec<i64> = (0..8).map(|_| in_range(&mut st, -100, 100)).collect();
+        let b: Vec<i64> = (0..8).map(|_| in_range(&mut st, -100, 100)).collect();
         let fa: Vec<Fpr> = a.iter().map(|&v| Fpr::from_i64(v)).collect();
         let fb: Vec<Fpr> = b.iter().map(|&v| Fpr::from_i64(v)).collect();
         let mut sum: Vec<Fpr> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
@@ -80,15 +122,17 @@ proptest! {
         fft(&mut tb);
         poly_add(&mut ta, &tb);
         for (x, y) in sum.iter().zip(&ta) {
-            prop_assert!((x.to_f64() - y.to_f64()).abs() < 1e-9);
+            assert!((x.to_f64() - y.to_f64()).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn fft_convolution_is_commutative(
-        a in prop::collection::vec(-50i64..=50, 16usize..=16),
-        b in prop::collection::vec(-50i64..=50, 16usize..=16),
-    ) {
+#[test]
+fn fft_convolution_is_commutative() {
+    let mut st = 0x636F6E76u64;
+    for _ in 0..CASES {
+        let a: Vec<i64> = (0..16).map(|_| in_range(&mut st, -50, 50)).collect();
+        let b: Vec<i64> = (0..16).map(|_| in_range(&mut st, -50, 50)).collect();
         let mut fa: Vec<Fpr> = a.iter().map(|&v| Fpr::from_i64(v)).collect();
         let mut fb: Vec<Fpr> = b.iter().map(|&v| Fpr::from_i64(v)).collect();
         fft(&mut fa);
@@ -100,12 +144,16 @@ proptest! {
         ifft(&mut ab);
         ifft(&mut ba);
         for (x, y) in ab.iter().zip(&ba) {
-            prop_assert!((x.to_f64() - y.to_f64()).abs() < 1e-7);
+            assert!((x.to_f64() - y.to_f64()).abs() < 1e-7);
         }
     }
+}
 
-    #[test]
-    fn fft_parseval(coeffs in prop::collection::vec(-100i64..=100, 32usize..=32)) {
+#[test]
+fn fft_parseval() {
+    let mut st = 0x70617273u64;
+    for _ in 0..CASES {
+        let coeffs: Vec<i64> = (0..32).map(|_| in_range(&mut st, -100, 100)).collect();
         let mut f: Vec<Fpr> = coeffs.iter().map(|&v| Fpr::from_i64(v)).collect();
         let time_norm: f64 = coeffs.iter().map(|&v| (v * v) as f64).sum();
         fft(&mut f);
@@ -116,18 +164,22 @@ proptest! {
                 let im = f[j + hn].to_f64();
                 re * re + im * im
             })
-            .sum::<f64>() * 2.0 / f.len() as f64;
-        prop_assert!((time_norm - freq_norm).abs() < 1e-6 * (1.0 + time_norm));
+            .sum::<f64>()
+            * 2.0
+            / f.len() as f64;
+        assert!((time_norm - freq_norm).abs() < 1e-6 * (1.0 + time_norm));
     }
+}
 
-    // ---------------- NTT algebra ----------------
+// ---------------- NTT algebra ----------------
 
-    #[test]
-    fn ntt_is_additive_homomorphism(
-        a in prop::collection::vec(0u32..Q, 16usize..=16),
-        b in prop::collection::vec(0u32..Q, 16usize..=16),
-    ) {
-        let t = NttTables::new(4);
+#[test]
+fn ntt_is_additive_homomorphism() {
+    let mut st = 0x6E747461u64;
+    let t = NttTables::new(4);
+    for _ in 0..CASES {
+        let a: Vec<u32> = (0..16).map(|_| splitmix(&mut st) as u32 % Q).collect();
+        let b: Vec<u32> = (0..16).map(|_| splitmix(&mut st) as u32 % Q).collect();
         let mut sum: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| mq_add(x, y)).collect();
         t.ntt(&mut sum);
         let mut ta = a.clone();
@@ -135,29 +187,41 @@ proptest! {
         t.ntt(&mut ta);
         t.ntt(&mut tb);
         let want: Vec<u32> = ta.iter().zip(&tb).map(|(&x, &y)| mq_add(x, y)).collect();
-        prop_assert_eq!(sum, want);
+        assert_eq!(sum, want);
     }
+}
 
-    #[test]
-    fn ntt_pointwise_is_ring_multiplication(
-        a in prop::collection::vec(0u32..Q, 8usize..=8),
-        c in 0u32..Q,
-    ) {
+#[test]
+fn ntt_pointwise_is_ring_multiplication() {
+    let mut st = 0x6E74746Du64;
+    let t = NttTables::new(3);
+    for _ in 0..CASES {
         // Multiplying by the constant polynomial c scales every
         // coefficient by c.
-        let t = NttTables::new(3);
+        let a: Vec<u32> = (0..8).map(|_| splitmix(&mut st) as u32 % Q).collect();
+        let c = splitmix(&mut st) as u32 % Q;
         let mut cp = vec![0u32; 8];
         cp[0] = c;
         let prod = t.poly_mul(&a, &cp);
         let want: Vec<u32> = a.iter().map(|&x| mq_mul(x, c)).collect();
-        prop_assert_eq!(prod, want);
+        assert_eq!(prod, want);
     }
+}
 
-    // ---------------- fpr/f64 interop on FALCON's value range ----------
+// ---------------- fpr/f64 interop on FALCON's value range ----------
 
-    #[test]
-    fn fpr_fma_chain_matches_f64(vals in prop::collection::vec(-1.0e6f64..1.0e6, 2..20)) {
+#[test]
+fn fpr_fma_chain_matches_f64() {
+    let mut st = 0x666D6163u64;
+    for _ in 0..CASES {
         // An accumulation chain like the FFT butterflies.
+        let len = in_range(&mut st, 2, 19) as usize;
+        let vals: Vec<f64> = (0..len)
+            .map(|_| {
+                let u = (splitmix(&mut st) >> 11) as f64 / (1u64 << 53) as f64;
+                (2.0 * u - 1.0) * 1.0e6
+            })
+            .collect();
         let mut acc_fpr = Fpr::ZERO;
         let mut acc_f64 = 0f64;
         for (i, &v) in vals.iter().enumerate() {
@@ -170,6 +234,6 @@ proptest! {
                 acc_f64 -= v * 0.5;
             }
         }
-        prop_assert_eq!(acc_fpr.to_bits(), acc_f64.to_bits());
+        assert_eq!(acc_fpr.to_bits(), acc_f64.to_bits());
     }
 }

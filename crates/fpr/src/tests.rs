@@ -6,7 +6,20 @@
 
 use crate::observe::{Lane, MulStep, RecordingObserver};
 use crate::repr::Fpr;
-use proptest::prelude::*;
+
+/// Deterministic splitmix64 stream for the seeded property loops below
+/// (the test environment builds with no network access, so the property
+/// tests use a self-contained generator instead of an external harness).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of pseudo-random cases per property.
+const CASES: usize = 512;
 
 fn assert_bits(got: Fpr, want: f64, ctx: &str) {
     assert_eq!(
@@ -21,95 +34,157 @@ fn assert_bits(got: Fpr, want: f64, ctx: &str) {
 }
 
 /// Doubles whose magnitude keeps intermediate results far away from both
-/// subnormals and overflow — FALCON's working range.
-fn moderate() -> impl Strategy<Value = f64> {
-    // mantissa bits, exponent in [-60, 60], sign
-    (any::<u64>(), -60i32..=60, any::<bool>()).prop_map(|(m, e, s)| {
-        let frac = 1.0 + (m & ((1u64 << 52) - 1)) as f64 / (1u64 << 52) as f64;
-        let v = frac * 2f64.powi(e);
-        if s {
-            -v
-        } else {
-            v
-        }
-    })
+/// subnormals and overflow — FALCON's working range: random mantissa
+/// bits, exponent in [-60, 60], random sign.
+fn moderate(state: &mut u64) -> f64 {
+    let m = splitmix(state);
+    let e = (splitmix(state) % 121) as i32 - 60;
+    let s = splitmix(state) & 1 == 1;
+    let frac = 1.0 + (m & ((1u64 << 52) - 1)) as f64 / (1u64 << 52) as f64;
+    let v = frac * 2f64.powi(e);
+    if s {
+        -v
+    } else {
+        v
+    }
 }
 
-proptest! {
-    #[test]
-    fn add_matches_f64(a in moderate(), b in moderate()) {
+/// Uniform double in `[-1e12, 1e12)`.
+fn within_e12(state: &mut u64) -> f64 {
+    let u = (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64;
+    (2.0 * u - 1.0) * 1.0e12
+}
+
+#[test]
+fn add_matches_f64() {
+    // Regression (former proptest shrink): a = 1.0, b = 1.0.
+    assert_bits(Fpr::from(1.0) + Fpr::from(1.0), 2.0, "add regression");
+    let mut st = 0x616464u64; // "add"
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
         assert_bits(Fpr::from(a) + Fpr::from(b), a + b, "add");
     }
+}
 
-    #[test]
-    fn sub_matches_f64(a in moderate(), b in moderate()) {
+#[test]
+fn sub_matches_f64() {
+    let mut st = 0x737562u64;
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
         assert_bits(Fpr::from(a) - Fpr::from(b), a - b, "sub");
     }
+}
 
-    #[test]
-    fn mul_matches_f64(a in moderate(), b in moderate()) {
+#[test]
+fn mul_matches_f64() {
+    let mut st = 0x6D756Cu64;
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
         assert_bits(Fpr::from(a) * Fpr::from(b), a * b, "mul");
     }
+}
 
-    #[test]
-    fn div_matches_f64(a in moderate(), b in moderate()) {
+#[test]
+fn div_matches_f64() {
+    let mut st = 0x646976u64;
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
         assert_bits(Fpr::from(a) / Fpr::from(b), a / b, "div");
     }
+}
 
-    #[test]
-    fn sqrt_matches_f64(a in moderate()) {
-        let a = a.abs();
+#[test]
+fn sqrt_matches_f64() {
+    let mut st = 0x73717274u64;
+    for _ in 0..CASES {
+        let a = moderate(&mut st).abs();
         assert_bits(Fpr::from(a).sqrt(), a.sqrt(), "sqrt");
     }
+}
 
-    #[test]
-    fn from_i64_matches_f64(i in any::<i64>()) {
+#[test]
+fn from_i64_matches_f64() {
+    let mut st = 0x693634u64;
+    for _ in 0..CASES {
+        let i = splitmix(&mut st) as i64;
         assert_bits(Fpr::from_i64(i), i as f64, "from_i64");
     }
+    for i in [0i64, 1, -1, i64::MAX, i64::MIN] {
+        assert_bits(Fpr::from_i64(i), i as f64, "from_i64 edge");
+    }
+}
 
-    #[test]
-    fn scaled_matches_f64(i in any::<i64>(), sc in -200i32..=200) {
+#[test]
+fn scaled_matches_f64() {
+    let mut st = 0x7363616Cu64;
+    for _ in 0..CASES {
+        let i = splitmix(&mut st) as i64;
+        let sc = (splitmix(&mut st) % 401) as i32 - 200;
         assert_bits(Fpr::scaled(i, sc), i as f64 * 2f64.powi(sc), "scaled");
     }
+}
 
-    #[test]
-    fn rint_matches_f64(a in -1.0e12f64..1.0e12) {
-        prop_assert_eq!(Fpr::from(a).rint(), a.round_ties_even() as i64);
+#[test]
+fn rint_matches_f64() {
+    let mut st = 0x72696E74u64;
+    for _ in 0..CASES {
+        let a = within_e12(&mut st);
+        assert_eq!(Fpr::from(a).rint(), a.round_ties_even() as i64, "rint({a})");
     }
+}
 
-    #[test]
-    fn floor_matches_f64(a in -1.0e12f64..1.0e12) {
-        prop_assert_eq!(Fpr::from(a).floor(), a.floor() as i64);
+#[test]
+fn floor_matches_f64() {
+    let mut st = 0x666C6F6Fu64;
+    for _ in 0..CASES {
+        let a = within_e12(&mut st);
+        assert_eq!(Fpr::from(a).floor(), a.floor() as i64, "floor({a})");
     }
+}
 
-    #[test]
-    fn trunc_matches_f64(a in -1.0e12f64..1.0e12) {
-        prop_assert_eq!(Fpr::from(a).trunc(), a.trunc() as i64);
+#[test]
+fn trunc_matches_f64() {
+    let mut st = 0x7472756Eu64;
+    for _ in 0..CASES {
+        let a = within_e12(&mut st);
+        assert_eq!(Fpr::from(a).trunc(), a.trunc() as i64, "trunc({a})");
     }
+}
 
-    #[test]
-    fn half_double_roundtrip(a in moderate()) {
+#[test]
+fn half_double_roundtrip() {
+    let mut st = 0x68616C66u64;
+    for _ in 0..CASES {
+        let a = moderate(&mut st);
         let x = Fpr::from(a);
-        prop_assert_eq!(x.double().half(), x);
+        assert_eq!(x.double().half(), x);
         assert_bits(x.double(), a * 2.0, "double");
         assert_bits(x.half(), a / 2.0, "half");
     }
+}
 
-    #[test]
-    fn comparisons_match_f64(a in moderate(), b in moderate()) {
-        prop_assert_eq!(Fpr::from(a).lt(Fpr::from(b)), a < b);
-        prop_assert_eq!(Fpr::from(a).le(Fpr::from(b)), a <= b);
+#[test]
+fn comparisons_match_f64() {
+    let mut st = 0x636D70u64;
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
+        assert_eq!(Fpr::from(a).lt(Fpr::from(b)), a < b, "lt({a}, {b})");
+        assert_eq!(Fpr::from(a).le(Fpr::from(b)), a <= b, "le({a}, {b})");
     }
+}
 
-    #[test]
-    fn mul_observed_equals_mul(a in moderate(), b in moderate()) {
+#[test]
+fn mul_observed_equals_mul() {
+    let mut st = 0x6F6273u64;
+    for _ in 0..CASES {
+        let (a, b) = (moderate(&mut st), moderate(&mut st));
         let mut obs = RecordingObserver::new();
         let x = Fpr::from(a);
         let y = Fpr::from(b);
-        prop_assert_eq!(x.mul_observed(y, &mut obs), x * y);
+        assert_eq!(x.mul_observed(y, &mut obs), x * y, "mul_observed({a}, {b})");
         // Execution order: mantissa pipeline, then exponent, then sign.
         let kinds: Vec<_> = obs.steps.iter().map(std::mem::discriminant).collect();
-        prop_assert_eq!(kinds.len(), 14);
+        assert_eq!(kinds.len(), 14);
     }
 }
 
@@ -179,10 +254,7 @@ fn observed_steps_expose_partial_products() {
         .expect("LoLo partial product recorded");
     assert_eq!(got, want);
     // The sign xor must be 1 (positive * negative).
-    assert!(obs
-        .steps
-        .iter()
-        .any(|s| matches!(s, MulStep::SignXor { value: 1 })));
+    assert!(obs.steps.iter().any(|s| matches!(s, MulStep::SignXor { value: 1 })));
 }
 
 #[test]

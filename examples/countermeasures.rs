@@ -23,6 +23,7 @@ fn device(params: LogN, cm: CountermeasureConfig, noise: f64) -> Device {
         model: LeakageModel::hamming_weight(1.0, noise),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     Device::new(kp.into_parts().0, chain, b"cm bench").with_countermeasures(cm)
 }
@@ -54,12 +55,20 @@ fn main() {
         ),
         (
             "hiding noise (+3σ)",
-            CountermeasureConfig { shuffle: false, extra_noise_sigma: 3.0 * base_noise, masking: false },
+            CountermeasureConfig {
+                shuffle: false,
+                extra_noise_sigma: 3.0 * base_noise,
+                masking: false,
+            },
             base_noise,
         ),
         (
             "shuffling + noise",
-            CountermeasureConfig { shuffle: true, extra_noise_sigma: 3.0 * base_noise, masking: false },
+            CountermeasureConfig {
+                shuffle: true,
+                extra_noise_sigma: 3.0 * base_noise,
+                masking: false,
+            },
             base_noise,
         ),
         (
@@ -78,9 +87,7 @@ fn main() {
             name,
             out.recovered,
             out.sign_corr,
-            out.sign_disclosure
-                .map(|d| d.to_string())
-                .unwrap_or_else(|| format!("> {n_traces}")),
+            out.sign_disclosure.map(|d| d.to_string()).unwrap_or_else(|| format!("> {n_traces}")),
         );
     }
 

@@ -43,6 +43,7 @@ fn main() {
         model: LeakageModel::hamming_weight(1.0, noise),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
     let mut device = Device::new(kp.into_parts().0, chain, b"full attack bench");
@@ -59,11 +60,7 @@ fn main() {
     let t = Instant::now();
     let results: Vec<_> = recover_all_verified(&ds, &cfg);
     let elapsed = t.elapsed();
-    let correct = results
-        .iter()
-        .zip(&truth)
-        .filter(|((r, _), &want)| r.bits == want)
-        .count();
+    let correct = results.iter().zip(&truth).filter(|((r, _), &want)| r.bits == want).count();
     println!("recovery: {elapsed:?}");
     println!("coefficients recovered exactly: {correct}/{n}");
     for (i, (r, conf)) in results.iter().take(4).enumerate() {

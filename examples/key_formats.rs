@@ -47,10 +47,7 @@ fn main() {
     let msg = b"signed with a key that travelled through bytes";
     let sig = sk.sign(msg, &mut rng);
     let sig_bytes = sig.to_bytes();
-    println!(
-        "signature  : {} bytes (header + 40-byte salt + compressed s2)",
-        sig_bytes.len()
-    );
+    println!("signature  : {} bytes (header + 40-byte salt + compressed s2)", sig_bytes.len());
     assert_eq!(sig_bytes.len(), params.sig_bytes());
 
     let parsed = Signature::from_bytes(&sig_bytes).expect("signature parses");

@@ -14,10 +14,7 @@ use falcon_down::sig::{KeyPair, LogN};
 use std::time::Instant;
 
 fn main() {
-    let logn = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<u32>().ok())
-        .unwrap_or(9);
+    let logn = std::env::args().nth(1).and_then(|s| s.parse::<u32>().ok()).unwrap_or(9);
     let params = LogN::new(logn).expect("logn must be in 1..=10");
     println!("FALCON-{} (n = {})", params.n(), params.n());
     println!("  σ        = {:.6}", params.sigma());
@@ -29,14 +26,8 @@ fn main() {
     let t = Instant::now();
     let kp = KeyPair::generate(params, &mut rng);
     println!("\nKey generation: {:?}", t.elapsed());
-    println!(
-        "  f[0..8]  = {:?}",
-        &kp.signing_key().f()[..8.min(params.n())]
-    );
-    println!(
-        "  g[0..8]  = {:?}",
-        &kp.signing_key().g()[..8.min(params.n())]
-    );
+    println!("  f[0..8]  = {:?}", &kp.signing_key().f()[..8.min(params.n())]);
+    println!("  g[0..8]  = {:?}", &kp.signing_key().g()[..8.min(params.n())]);
 
     // The secret transform the side channel leaks: FFT(f). Coefficients
     // are 64-bit emulated doubles whose sign/exponent/mantissa fields the

@@ -25,6 +25,7 @@ fn main() {
         model: LeakageModel::hamming_weight(1.0, 1.5),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let mut device = Device::new(kp.into_parts().0, chain, b"anatomy bench");
     let cap = device.capture(b"figure three");
@@ -41,8 +42,20 @@ fn main() {
     println!("coefficient 0, multiplication re(f)x re(c):");
     println!("{:>4} {:>14} {:>8}  plot (EM amplitude)", "t", "micro-op", "sample");
     let names = [
-        "load", "split", "mul D*B", "mul D*A", "add z1", "mul C*B", "add z1'", "mul C*A",
-        "add zu", "sticky", "normalize", "EXPONENT", "SIGN", "pack",
+        "load",
+        "split",
+        "mul D*B",
+        "mul D*A",
+        "add z1",
+        "mul C*B",
+        "add z1'",
+        "mul C*A",
+        "add zu",
+        "sticky",
+        "normalize",
+        "EXPONENT",
+        "SIGN",
+        "pack",
     ];
     let region_of = |s: StepKind| -> &'static str {
         match s {
@@ -74,11 +87,6 @@ fn main() {
     println!("\ncsv (coefficient 0, all four multiplications):");
     println!("t,sample,mul,step");
     for (t, idx) in layout.coefficient_range(0).enumerate() {
-        println!(
-            "{t},{},{},{}",
-            cap.trace.samples[idx],
-            t / StepKind::COUNT,
-            t % StepKind::COUNT
-        );
+        println!("{t},{},{},{}", cap.trace.samples[idx], t / StepKind::COUNT, t % StepKind::COUNT);
     }
 }

@@ -15,6 +15,7 @@ fn quiet_device(logn: u32, seed: &[u8]) -> Device {
         model: LeakageModel::hamming_weight(1.0, 0.0),
         lowpass: 0.0,
         scope: Scope { enabled: false, ..Default::default() },
+        ..Default::default()
     };
     Device::new(kp.into_parts().0, chain, b"consistency bench")
 }
@@ -98,9 +99,12 @@ fn capture_values_are_permutation_invariant() {
         model: LeakageModel::hamming_weight(1.0, 0.0),
         lowpass: 0.0,
         scope: Scope { enabled: false, ..Default::default() },
+        ..Default::default()
     };
-    let mut shuffled = Device::new(kp.into_parts().0, chain, b"consistency bench")
-        .with_countermeasures(CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false });
+    let mut shuffled =
+        Device::new(kp.into_parts().0, chain, b"consistency bench").with_countermeasures(
+            CountermeasureConfig { shuffle: true, extra_noise_sigma: 0.0, masking: false },
+        );
     let salt = [3u8; 40];
     let a = plain.capture_with_salt(&salt, b"m");
     let b = shuffled.capture_with_salt(&salt, b"m");

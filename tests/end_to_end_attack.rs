@@ -19,6 +19,7 @@ fn run_pipeline(logn: u32, noise: f64, traces: usize, key_seed: &[u8]) {
         model: LeakageModel::hamming_weight(1.0, noise),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
     let true_f = kp.signing_key().f().to_vec();

@@ -35,6 +35,7 @@ fn falcon_512_coefficient_extraction() {
         model: LeakageModel::hamming_weight(1.0, 2.0),
         lowpass: 0.0,
         scope: Scope::default(),
+        ..Default::default()
     };
     let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
     let mut device = Device::new(kp.into_parts().0, chain, b"falcon512 bench");
