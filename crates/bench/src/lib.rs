@@ -4,5 +4,6 @@
 //! number of the paper's evaluation (see EXPERIMENTS.md for the index);
 //! the `benches/` targets are Criterion micro/macro benchmarks.
 
+pub mod json;
 pub mod report;
 pub mod setup;

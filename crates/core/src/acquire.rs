@@ -49,12 +49,14 @@ impl Dataset {
         n_traces: usize,
         msg_rng: &mut Prng,
     ) -> Result<Dataset> {
+        let _span = crate::obs::span("acquire.collect");
         let n = device.signing_key().logn().n();
         for &t in targets {
             if t >= n {
                 return Err(Error::TargetOutOfRange { target: t, n });
             }
         }
+        crate::obs::counter("acquire.traces_requested").add(n_traces as u64);
         let layout = device.layout();
         let expected_len = layout.samples_per_trace();
         let mut knowns = Vec::with_capacity(n_traces * targets.len() * 2);

@@ -25,7 +25,40 @@ use crate::model::{
     assemble_coefficient, hyp_add_hi, hyp_add_lo, hyp_exponent_with_carry, hyp_partial_product,
     hyp_sign, KnownOperand, SecretHalf,
 };
+use crate::obs;
 use falcon_emsim::StepKind;
+use std::sync::{Arc, OnceLock};
+
+/// Metric handles for the attack hot paths, resolved once. The counters
+/// take *bulk* adds at stage granularity (one add per beam level, not
+/// per scored candidate) so the instrumentation cost stays invisible
+/// next to the Pearson arithmetic it accounts for.
+struct AttackMetrics {
+    /// Full Pearson correlations evaluated (one per scored candidate).
+    correlations: Arc<obs::Counter>,
+    /// Candidate-set size per extend/prune stage.
+    candidates: Arc<obs::Histogram>,
+    /// `parallel_map` invocations that fanned out across threads.
+    parallel_jobs: Arc<obs::Counter>,
+    /// `parallel_map` invocations that stayed on the calling thread.
+    serial_jobs: Arc<obs::Counter>,
+    /// Worker threads used by the most recent fan-out.
+    threads: Arc<obs::Gauge>,
+}
+
+fn attack_metrics() -> &'static AttackMetrics {
+    static M: OnceLock<AttackMetrics> = OnceLock::new();
+    M.get_or_init(|| AttackMetrics {
+        correlations: obs::counter("attack.correlations"),
+        candidates: obs::metrics().histogram(
+            "attack.candidate_set_size",
+            &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0],
+        ),
+        parallel_jobs: obs::counter("attack.parallel_map.fanout"),
+        serial_jobs: obs::counter("attack.parallel_map.serial"),
+        threads: obs::gauge("attack.parallel_map.threads"),
+    })
+}
 
 /// Tuning knobs for the incremental recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,9 +108,13 @@ fn parallel_map<T: Sync, R: Send + Default + Clone, F: Fn(&T) -> R + Sync>(
     f: F,
 ) -> Vec<R> {
     let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let m = attack_metrics();
     if items.len() < 256 || threads == 1 {
+        m.serial_jobs.incr();
         return items.iter().map(&f).collect();
     }
+    m.parallel_jobs.incr();
+    m.threads.set(threads as f64);
     let mut out = vec![R::default(); items.len()];
     let chunk = items.len().div_ceil(threads);
     std::thread::scope(|scope| {
@@ -249,6 +286,11 @@ pub fn recover_mantissa_half(
     other_half: Option<u64>,
     cfg: &AttackConfig,
 ) -> ComponentResult {
+    let _span = obs::span(match half {
+        SecretHalf::Low => "attack.mant_lo",
+        SecretHalf::High => "attack.mant_hi",
+    });
+    let m = attack_metrics();
     let full_width = match half {
         SecretHalf::Low => 25,
         SecretHalf::High => 28,
@@ -272,6 +314,8 @@ pub fn recover_mantissa_half(
         // Intermediate levels subsample the campaign; the final level is
         // scored on everything.
         let max_points = if next == full_width { usize::MAX } else { 4000 };
+        m.candidates.record(cands.len() as f64);
+        m.correlations.add(cands.len() as u64);
         let scores = parallel_map(&cands, |&c| tc.extend_score(c, next, full_width, max_points));
         // Correlation handicaps candidates with low hypothesis variance
         // (prefixes with trailing zero bits modulate few product bits; an
@@ -327,6 +371,8 @@ pub fn recover_mantissa_half(
 
     // Prune phase: re-rank the candidates against the intermediate
     // addition.
+    m.candidates.record(final_set.len() as f64);
+    m.correlations.add(final_set.len() as u64);
     let scores = parallel_map(&final_set, |&c| tc.prune_score(half, c, other_half));
     let scored: Vec<(u64, f64)> = final_set.into_iter().zip(scores).collect();
     top_two(&scored)
@@ -334,6 +380,7 @@ pub fn recover_mantissa_half(
 
 /// Recovers the sign bit by correlating the XOR step.
 pub fn recover_sign(ds: &Dataset, target: usize) -> ComponentResult {
+    attack_metrics().correlations.add(2);
     let mut scored = Vec::with_capacity(2);
     for guess in 0u32..2 {
         let mut sums = PearsonSums::default();
@@ -369,6 +416,8 @@ pub fn recover_sign_exponent(
     c_hi: u64,
     d_lo: u64,
 ) -> (ComponentResult, ComponentResult) {
+    let _span = obs::span("attack.sign_exp");
+    attack_metrics().correlations.add(2 * 2046);
     let mantissa = ((c_hi & 0x7FF_FFFF) << 25) | d_lo;
     // Per-(trace, occurrence) precomputation: everything that does not
     // depend on the (sign, exponent) guess.
@@ -445,6 +494,7 @@ pub fn recover_sign_exponent(
 /// score near the channel's SNR ceiling; a wrong mantissa or exponent
 /// drags the score down measurably.
 pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
+    attack_metrics().correlations.incr();
     let mut sums = PearsonSums::default();
     for occ in 0..2 {
         let knowns = ds.known_column(target, occ);
@@ -468,6 +518,7 @@ pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
 /// narrow range (see [`recover_sign_exponent`], which the full pipeline
 /// uses instead).
 pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> ComponentResult {
+    attack_metrics().correlations.add(2046);
     let knowns: Vec<Vec<KnownOperand>> = (0..2)
         .map(|occ| ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect())
         .collect();
@@ -489,6 +540,7 @@ pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> Co
 
 /// Recovers one full `FFT(f)` coefficient by divide-and-conquer.
 pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> CoefficientResult {
+    let _span = obs::span("attack.coefficient");
     // Alternating refinement: each half's *extend* targets are
     // independent of the other half, but the *prune* additions mix the
     // halves (`zu = C·A + carries(D)`), so the halves are re-pruned with

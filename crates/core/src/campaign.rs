@@ -19,6 +19,7 @@ use crate::attack::{coefficient_confidence, recover_coefficient, AttackConfig};
 use crate::confidence;
 use crate::error::{Error, Result};
 use crate::io;
+use crate::obs;
 use crate::screen::{AcquisitionStats, ScreenConfig};
 use falcon_emsim::Device;
 use falcon_sig::rng::Prng;
@@ -241,17 +242,24 @@ impl Campaign {
         if self.is_done() {
             return Ok(false);
         }
+        let _batch_span = obs::span("campaign.batch");
         let pending = self.pending();
         let batch = self.cfg.batch_size.min(self.cfg.max_traces - self.traces_requested);
-        let (ds, stats) =
-            Dataset::collect_screened(device, &pending, batch, msg_rng, self.cfg.screen.as_ref())?;
+        let (ds, stats) = {
+            let _acquire_span = obs::span("campaign.acquire");
+            Dataset::collect_screened(device, &pending, batch, msg_rng, self.cfg.screen.as_ref())?
+        };
         self.traces_requested += batch;
         self.stats.merge(&stats);
-        for state in self.states.iter_mut().filter(|s| s.resolved.is_none()) {
-            let sub = ds.select_targets(&[state.target])?;
-            state.data.append(&sub)?;
-            evaluate(state, &self.cfg);
+        {
+            let _eval_span = obs::span("campaign.evaluate");
+            for state in self.states.iter_mut().filter(|s| s.resolved.is_none()) {
+                let sub = ds.select_targets(&[state.target])?;
+                state.data.append(&sub)?;
+                evaluate(state, &self.cfg);
+            }
         }
+        obs::metrics().counter("campaign.batches").incr();
         Ok(true)
     }
 
@@ -354,6 +362,7 @@ impl Campaign {
     ///
     /// Propagates filesystem errors.
     pub fn checkpoint(&self, device: &Device, msg_rng: &Prng, path: &Path) -> Result<()> {
+        let ckpt_span = obs::span("campaign.checkpoint");
         let tmp = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;
@@ -361,6 +370,14 @@ impl Campaign {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        drop(ckpt_span);
+        let (requested, pending) = (self.traces_requested, self.pending().len());
+        obs::emit(|| {
+            obs::Event::new("campaign.checkpoint")
+                .with_u64("traces_requested", requested as u64)
+                .with_u64("pending_targets", pending as u64)
+                .with_str("path", path.display().to_string())
+        });
         Ok(())
     }
 
@@ -457,7 +474,15 @@ impl Campaign {
         }
         *msg_rng =
             Prng::import_state(&rng_state).ok_or_else(|| io::bad("malformed message-rng state"))?;
-        Ok(Campaign { cfg, n, states, traces_requested, stats })
+        let campaign = Campaign { cfg, n, states, traces_requested, stats };
+        obs::metrics().counter("campaign.resumes").incr();
+        let pending = campaign.pending().len();
+        obs::emit(|| {
+            obs::Event::new("campaign.resume")
+                .with_u64("traces_requested", traces_requested as u64)
+                .with_u64("pending_targets", pending as u64)
+        });
+        Ok(campaign)
     }
 
     /// [`Campaign::resume`] from a checkpoint file.
@@ -499,6 +524,15 @@ fn evaluate(state: &mut TargetState, cfg: &CampaignConfig) {
     state.last_bits = Some(r.bits);
     if state.stable >= cfg.stable_batches {
         state.resolved = Some((r.bits, conf, traces));
+        obs::metrics().counter("campaign.converged").incr();
+        let (target, bits) = (state.target, r.bits);
+        obs::emit(|| {
+            obs::Event::new("campaign.converged")
+                .with_u64("target", target as u64)
+                .with_u64("bits", bits)
+                .with_f64("confidence", conf)
+                .with_u64("traces", traces as u64)
+        });
     }
 }
 

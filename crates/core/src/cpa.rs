@@ -9,6 +9,12 @@
 /// Pearson correlation coefficient between a hypothesis vector and the
 /// samples at one time index (one entry per trace).
 ///
+/// Computed from *centered* sums (two-pass): the one-pass expansion
+/// `d·Σht − Σh·Σt` cancels catastrophically when the samples carry a
+/// large common offset (a DC-coupled probe, an un-zeroed baseline),
+/// where `d·Σt² and (Σt)²` agree in their leading ~16 digits and the
+/// variance survives only in the bits rounding already destroyed.
+///
 /// Returns 0 when either side is constant (no information).
 pub fn pearson(hyps: &[f64], samples: &[f32]) -> f64 {
     assert_eq!(hyps.len(), samples.len());
@@ -16,60 +22,83 @@ pub fn pearson(hyps: &[f64], samples: &[f32]) -> f64 {
     if hyps.is_empty() {
         return 0.0;
     }
-    let (mut sh, mut sh2, mut st, mut st2, mut sht) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    let mean_h = hyps.iter().sum::<f64>() / d;
+    let mean_t = samples.iter().map(|&t| t as f64).sum::<f64>() / d;
+    let (mut c, mut vh, mut vt) = (0f64, 0f64, 0f64);
     for (&h, &t) in hyps.iter().zip(samples) {
-        let t = t as f64;
-        sh += h;
-        sh2 += h * h;
-        st += t;
-        st2 += t * t;
-        sht += h * t;
+        let dh = h - mean_h;
+        let dt = t as f64 - mean_t;
+        c += dh * dt;
+        vh += dh * dh;
+        vt += dt * dt;
     }
-    let num = d * sht - sh * st;
-    let den = ((d * sh2 - sh * sh) * (d * st2 - st * st)).sqrt();
+    let den = (vh * vt).sqrt();
     if den <= 0.0 {
         0.0
     } else {
-        num / den
+        c / den
     }
 }
 
 /// Correlation between a hypothesis vector and every prefix of the trace
 /// set: entry `i` is the correlation over the first `i + 1` traces.
 ///
+/// Streaming Welford/centered accumulation — offset-robust like
+/// [`pearson`], one pass like the acquisition loop needs:
+/// `C_n = C_{n−1} + (h_n − h̄_{n−1})(t_n − t̄_n)` (old hypothesis mean,
+/// updated sample mean), and likewise for the two variances.
+///
 /// This is the estimator behind the paper's Figure 4 (e–h) evolution
 /// plots.
 pub fn pearson_evolution(hyps: &[f64], samples: &[f32]) -> Vec<f64> {
     assert_eq!(hyps.len(), samples.len());
     let mut out = Vec::with_capacity(hyps.len());
-    let (mut sh, mut sh2, mut st, mut st2, mut sht) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    let (mut mean_h, mut mean_t) = (0f64, 0f64);
+    let (mut c, mut vh, mut vt) = (0f64, 0f64, 0f64);
     for (i, (&h, &t)) in hyps.iter().zip(samples).enumerate() {
         let t = t as f64;
-        sh += h;
-        sh2 += h * h;
-        st += t;
-        st2 += t * t;
-        sht += h * t;
         let d = (i + 1) as f64;
-        let num = d * sht - sh * st;
-        let den = ((d * sh2 - sh * sh) * (d * st2 - st * st)).sqrt();
-        out.push(if den <= 0.0 { 0.0 } else { num / den });
+        let dh = h - mean_h;
+        mean_h += dh / d;
+        let dt = t - mean_t;
+        mean_t += dt / d;
+        let dt_new = t - mean_t;
+        c += dh * dt_new;
+        vh += dh * (h - mean_h);
+        vt += dt * dt_new;
+        let den = (vh * vt).sqrt();
+        out.push(if den <= 0.0 { 0.0 } else { c / den });
     }
     out
 }
 
-/// Streaming guesses×samples correlation matrix (Welford-style sums), for
-/// correlation-versus-time plots over a window of the trace.
+/// Streaming guesses×samples correlation matrix (Welford centered
+/// accumulation), for correlation-versus-time plots over a window of the
+/// trace.
+///
+/// The accumulators hold running means and *centered* second moments —
+/// not raw power sums — so a large common offset on the samples (DC
+/// baseline, un-zeroed probe) costs no precision: the one-pass
+/// `d·Σht − Σh·Σt` expansion loses the entire covariance to cancellation
+/// in that regime.
 #[derive(Debug, Clone)]
 pub struct CorrMatrix {
     guesses: usize,
     samples: usize,
     d: u64,
-    sh: Vec<f64>,
-    sh2: Vec<f64>,
-    st: Vec<f64>,
-    st2: Vec<f64>,
-    sht: Vec<f64>,
+    /// Running hypothesis mean, per guess.
+    mean_h: Vec<f64>,
+    /// Centered second moment `Σ(h − h̄)²`, per guess.
+    m2_h: Vec<f64>,
+    /// Running sample mean, per time point.
+    mean_t: Vec<f64>,
+    /// Centered second moment `Σ(t − t̄)²`, per time point.
+    m2_t: Vec<f64>,
+    /// Centered cross moment `Σ(h − h̄)(t − t̄)`, guess-major.
+    cross: Vec<f64>,
+    /// Per-update scratch: this trace's `t − t̄_new`, per time point
+    /// (kept in the struct so `update` never allocates).
+    dt_scratch: Vec<f64>,
 }
 
 impl CorrMatrix {
@@ -80,11 +109,12 @@ impl CorrMatrix {
             guesses,
             samples,
             d: 0,
-            sh: vec![0.0; guesses],
-            sh2: vec![0.0; guesses],
-            st: vec![0.0; samples],
-            st2: vec![0.0; samples],
-            sht: vec![0.0; guesses * samples],
+            mean_h: vec![0.0; guesses],
+            m2_h: vec![0.0; guesses],
+            mean_t: vec![0.0; samples],
+            m2_t: vec![0.0; samples],
+            cross: vec![0.0; guesses * samples],
+            dt_scratch: vec![0.0; samples],
         }
     }
 
@@ -99,31 +129,34 @@ impl CorrMatrix {
         assert_eq!(hyps.len(), self.guesses);
         assert_eq!(window.len(), self.samples);
         self.d += 1;
-        for (g, &h) in hyps.iter().enumerate() {
-            self.sh[g] += h;
-            self.sh2[g] += h * h;
-            let row = &mut self.sht[g * self.samples..(g + 1) * self.samples];
-            for (r, &t) in row.iter_mut().zip(window) {
-                *r += h * t as f64;
-            }
-        }
+        let d = self.d as f64;
+        // Sample side first: the cross update needs every `t − t̄_new`.
         for (s, &t) in window.iter().enumerate() {
             let t = t as f64;
-            self.st[s] += t;
-            self.st2[s] += t * t;
+            let dt = t - self.mean_t[s];
+            self.mean_t[s] += dt / d;
+            let dt_new = t - self.mean_t[s];
+            self.m2_t[s] += dt * dt_new;
+            self.dt_scratch[s] = dt_new;
+        }
+        for (g, &h) in hyps.iter().enumerate() {
+            let dh = h - self.mean_h[g];
+            self.mean_h[g] += dh / d;
+            self.m2_h[g] += dh * (h - self.mean_h[g]);
+            let row = &mut self.cross[g * self.samples..(g + 1) * self.samples];
+            for (r, &dt_new) in row.iter_mut().zip(&self.dt_scratch) {
+                *r += dh * dt_new;
+            }
         }
     }
 
     /// The correlation of guess `g` at sample `s`.
     pub fn corr(&self, g: usize, s: usize) -> f64 {
-        let d = self.d as f64;
         if self.d < 2 {
             return 0.0;
         }
-        let num = d * self.sht[g * self.samples + s] - self.sh[g] * self.st[s];
-        let den = ((d * self.sh2[g] - self.sh[g] * self.sh[g])
-            * (d * self.st2[s] - self.st[s] * self.st[s]))
-            .sqrt();
+        let num = self.cross[g * self.samples + s];
+        let den = (self.m2_h[g] * self.m2_t[s]).sqrt();
         if den <= 0.0 {
             0.0
         } else {
@@ -217,6 +250,73 @@ mod tests {
             }
         }
         assert_eq!(m.traces(), 50);
+    }
+
+    /// The one-pass power-sum expansion this module used before the
+    /// centered rewrite — kept as the regression baseline the fix is
+    /// measured against.
+    fn one_pass_pearson(hyps: &[f64], samples: &[f32]) -> f64 {
+        let d = hyps.len() as f64;
+        let (mut sh, mut sh2, mut st, mut st2, mut sht) = (0f64, 0f64, 0f64, 0f64, 0f64);
+        for (&h, &t) in hyps.iter().zip(samples) {
+            let t = t as f64;
+            sh += h;
+            sh2 += h * h;
+            st += t;
+            st2 += t * t;
+            sht += h * t;
+        }
+        let num = d * sht - sh * st;
+        let den = ((d * sh2 - sh * sh) * (d * st2 - st * st)).sqrt();
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Offset regression data: a DC-coupled baseline of 1e7 on every
+    /// sample. The f32 ulp at 1e7 is 1.0, so a ×16 signal survives
+    /// quantisation, and every sample value is an integer < 2^24 —
+    /// exactly representable, which makes the offset-removed reference
+    /// below exact rather than approximate.
+    fn offset_data() -> (Vec<f64>, Vec<f32>, Vec<f32>) {
+        let h: Vec<f64> = (0..2000).map(|i| ((i * 37) % 32) as f64).collect();
+        let t: Vec<f32> = h
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (1.0e7 + 16.0 * v + ((i * 13) % 7) as f64) as f32)
+            .collect();
+        // Subtracting the (exactly representable) offset is exact in
+        // f32, and Pearson is shift-invariant: same true correlation.
+        let t0: Vec<f32> = t.iter().map(|&v| v - 1.0e7).collect();
+        (h, t, t0)
+    }
+
+    #[test]
+    fn large_offset_samples_keep_full_precision() {
+        let (h, t, t0) = offset_data();
+        let reference = pearson(&h, &t0);
+        assert!(reference > 0.99, "the planted signal must dominate: {reference}");
+        // Centered estimators are unmoved by the offset...
+        assert!((pearson(&h, &t) - reference).abs() < 1e-12);
+        let evo = pearson_evolution(&h, &t);
+        assert!((evo.last().unwrap() - reference).abs() < 1e-9);
+        // ...while the previous one-pass expansion loses ~10 digits of
+        // the sample variance to cancellation on identical input.
+        let old_err = (one_pass_pearson(&h, &t) - reference).abs();
+        assert!(old_err > 1e-8, "expected visible one-pass degradation, got {old_err:.3e}");
+    }
+
+    #[test]
+    fn matrix_is_offset_robust() {
+        let (h, t, t0) = offset_data();
+        let reference = pearson(&h, &t0);
+        let mut m = CorrMatrix::new(1, 1);
+        for (&hv, &tv) in h.iter().zip(&t) {
+            m.update(&[hv], &[tv]);
+        }
+        assert!((m.corr(0, 0) - reference).abs() < 1e-12, "got {}", m.corr(0, 0));
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //! assert_eq!(r.bits, truth);
 //! ```
 
+/// Observability substrate (re-export of the standalone `falcon-obs`
+/// crate): metrics registry, timing spans and the structured event sink
+/// the pipeline instrumentation below feeds. The default sink is a
+/// no-op; see `falcon_dema::obs::set_sink` to stream JSONL events.
+pub use falcon_obs as obs;
+
 pub mod acquire;
 pub mod attack;
 pub mod campaign;

@@ -27,6 +27,7 @@ const COEFF_LIMIT: i64 = 1024;
 /// Returns `None` when the inverse transform does not land on small
 /// integers — the tell-tale of an incorrect extraction.
 pub fn invert_fft_f(bits: &[u64]) -> Option<Vec<i16>> {
+    let _span = crate::obs::span("recover.invert_fft");
     let mut v: Vec<Fpr> = bits.iter().map(|&b| Fpr::from_bits(b)).collect();
     ifft(&mut v);
     let mut out = Vec::with_capacity(v.len());
@@ -54,6 +55,7 @@ pub struct RecoveredKey {
 /// Returns `None` when `f` is inconsistent with `h` (recovery failed) or
 /// the NTRU solve does not complete.
 pub fn recover_private_key(f: &[i16], vk: &VerifyingKey) -> Option<RecoveredKey> {
+    let _span = crate::obs::span("recover.ntru_solve");
     let logn = vk.logn();
     if f.len() != logn.n() {
         return None;

@@ -18,6 +18,7 @@
 
 use crate::acquire::{Dataset, POINTS_PER_TARGET};
 use crate::error::{Error, Result};
+use crate::obs;
 use falcon_emsim::{Device, StepKind, Trace};
 use falcon_fpr::Fpr;
 use falcon_sig::fft::fft;
@@ -161,16 +162,21 @@ impl Dataset {
 
         // Pass 1: capture the whole batch (salt + message + raw trace).
         let mut batch = Vec::with_capacity(n_traces);
-        for _ in 0..n_traces {
-            let mut msg = [0u8; 24];
-            msg_rng.fill(&mut msg);
-            let cap = device.capture(&msg);
-            if cap.trace.len() < expected_len {
-                stats.dropped_trigger += 1;
-                continue;
+        {
+            let _capture_span = obs::span("screen.capture");
+            for _ in 0..n_traces {
+                let mut msg = [0u8; 24];
+                msg_rng.fill(&mut msg);
+                let cap = device.capture(&msg);
+                if cap.trace.len() < expected_len {
+                    stats.dropped_trigger += 1;
+                    continue;
+                }
+                batch.push(cap);
             }
-            batch.push(cap);
         }
+
+        let gates_span = obs::span("screen.gates");
 
         // The realignment reference: the per-sample median over the
         // batch. A minority of jittered traces cannot move the median,
@@ -227,8 +233,36 @@ impl Dataset {
                 stats.winsorized = winsorize_columns(&mut ds, c.mad_k);
             }
         }
+        drop(gates_span);
+        record_batch(&stats);
         Ok((ds, stats))
     }
+}
+
+/// Publishes one batch's accounting: bulk counter adds per gate outcome
+/// plus a structured `screen.batch` event.
+fn record_batch(stats: &AcquisitionStats) {
+    let m = obs::metrics();
+    m.counter("screen.requested").add(stats.requested as u64);
+    m.counter("screen.kept").add(stats.kept as u64);
+    m.counter("screen.dropped_trigger").add(stats.dropped_trigger as u64);
+    m.counter("screen.discarded_saturated").add(stats.discarded_saturated as u64);
+    m.counter("screen.discarded_dead").add(stats.discarded_dead as u64);
+    m.counter("screen.discarded_misaligned").add(stats.discarded_misaligned as u64);
+    m.counter("screen.realigned").add(stats.realigned as u64);
+    m.counter("screen.winsorized_samples").add(stats.winsorized as u64);
+    let s = *stats;
+    obs::emit(|| {
+        obs::Event::new("screen.batch")
+            .with_u64("requested", s.requested as u64)
+            .with_u64("kept", s.kept as u64)
+            .with_u64("dropped_trigger", s.dropped_trigger as u64)
+            .with_u64("saturated", s.discarded_saturated as u64)
+            .with_u64("dead", s.discarded_dead as u64)
+            .with_u64("misaligned", s.discarded_misaligned as u64)
+            .with_u64("realigned", s.realigned as u64)
+            .with_u64("winsorized", s.winsorized as u64)
+    });
 }
 
 /// Per-sample median over full-length traces (the realignment anchor).

@@ -5,11 +5,35 @@ use crate::leakage::GaussianNoise;
 use crate::probe::MeasurementChain;
 use crate::trace::{Capture, MulOpLayout, Trace};
 use falcon_fpr::{Fpr, MulObserver, MulStep};
+use falcon_obs::{Counter, Event, Histogram};
 use falcon_sig::fft::{at, fft, set};
 use falcon_sig::hash::hash_to_point;
 use falcon_sig::params::SALT_LEN;
 use falcon_sig::rng::Prng;
 use falcon_sig::{Signature, SigningKey};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Metric handles for the capture hot path, resolved once — the
+/// registry's name lookup must not run per trace.
+struct DeviceMetrics {
+    captures: Arc<Counter>,
+    dropped: Arc<Counter>,
+    samples: Arc<Counter>,
+    signs: Arc<Counter>,
+    capture_secs: Arc<Histogram>,
+}
+
+fn device_metrics() -> &'static DeviceMetrics {
+    static M: OnceLock<DeviceMetrics> = OnceLock::new();
+    M.get_or_init(|| DeviceMetrics {
+        captures: falcon_obs::counter("device.captures"),
+        dropped: falcon_obs::counter("device.captures_dropped"),
+        samples: falcon_obs::counter("device.samples"),
+        signs: falcon_obs::counter("device.signs"),
+        capture_secs: falcon_obs::histogram("device.capture_secs"),
+    })
+}
 
 /// Side-channel countermeasures the device may enable (paper §V.B).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -184,11 +208,24 @@ impl Device {
 
     /// Acquisition with a caller-chosen salt (tests and replays).
     pub fn capture_with_salt(&mut self, salt: &[u8; SALT_LEN], msg: &[u8]) -> Trace {
+        let start = Instant::now();
         let n = self.sk.logn().n();
         let c = hash_to_point(salt, msg, n);
         let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
         fft(&mut c_fft);
-        self.leak_pointwise_mul(&c_fft)
+        let trace = self.leak_pointwise_mul(&c_fft);
+        let m = device_metrics();
+        m.captures.incr();
+        m.samples.add(trace.len() as u64);
+        if trace.is_empty() {
+            m.dropped.incr();
+            let capture_index = self.faults.captures();
+            falcon_obs::emit(|| {
+                Event::new("device.capture_dropped").with_u64("capture_index", capture_index)
+            });
+        }
+        m.capture_secs.record_since(start);
+        trace
     }
 
     /// Runs the complete signing operation under observation and returns
@@ -212,6 +249,7 @@ impl Device {
                 let fm = self.chain.faults;
                 self.faults.apply(&fm, &mut samples, self.chain.scope.full_scale);
                 let capture = Capture { salt, msg: msg.to_vec(), trace: Trace::new(samples) };
+                device_metrics().signs.incr();
                 return (sig, capture);
             }
         }

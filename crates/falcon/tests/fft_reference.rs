@@ -1,0 +1,120 @@
+//! Differential validation of the FFT against a naive O(n²) DFT.
+//!
+//! The negacyclic FFT stores, in slot `j`, the polynomial's value at
+//! `ζ_j = exp(iπ(2j+1)/n)` — the `n/2` roots of `x^n + 1` with positive
+//! imaginary part. A direct evaluation of that definition in host `f64`
+//! arithmetic is slow but obviously correct, which makes it the
+//! reference the butterfly implementation (and the emulated arithmetic
+//! underneath it) is checked against here, at every degree the attack
+//! pipeline uses in tests.
+
+use falcon_fpr::Fpr;
+use falcon_sig::fft::{at, fft, ifft};
+
+/// Deterministic splitmix64 stream (same idiom as the crate's property
+/// tests; no external generator in the offline build).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Naive evaluation of the real polynomial `coeffs` at
+/// `exp(iπ(2j+1)/n)` for every `j < n/2`: `(re, im)` pairs.
+fn naive_dft(coeffs: &[f64]) -> Vec<(f64, f64)> {
+    let n = coeffs.len();
+    (0..n / 2)
+        .map(|j| {
+            let mut re = 0f64;
+            let mut im = 0f64;
+            for (k, &c) in coeffs.iter().enumerate() {
+                let ang = core::f64::consts::PI * (k * (2 * j + 1)) as f64 / n as f64;
+                re += c * ang.cos();
+                im += c * ang.sin();
+            }
+            (re, im)
+        })
+        .collect()
+}
+
+fn close(got: f64, want: f64, scale: f64, ctx: &str) {
+    assert!(
+        (got - want).abs() <= 1e-9 * (1.0 + scale),
+        "{ctx}: got {got}, want {want} (scale {scale})"
+    );
+}
+
+#[test]
+fn fft_matches_naive_dft() {
+    let mut st = 0x0064_6674_5F72_6566_u64; // "dft_ref"
+    for logn in 3u32..=6 {
+        let n = 1usize << logn;
+        for case in 0..8 {
+            // Mixed coefficient shapes: small signed integers (FALCON
+            // key range) and non-integer values with varied magnitudes.
+            let coeffs: Vec<f64> = (0..n)
+                .map(|_| {
+                    let r = splitmix(&mut st);
+                    if case % 2 == 0 {
+                        ((r % 257) as f64) - 128.0
+                    } else {
+                        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+                        (2.0 * u - 1.0) * 100.0
+                    }
+                })
+                .collect();
+            let want = naive_dft(&coeffs);
+            // The DFT magnitudes bound the roundoff scale.
+            let scale = coeffs.iter().map(|c| c.abs()).sum::<f64>();
+            let mut v: Vec<Fpr> = coeffs.iter().map(|&c| Fpr::from(c)).collect();
+            fft(&mut v);
+            for (j, &(re, im)) in want.iter().enumerate() {
+                let got = at(&v, j);
+                close(got.re.to_f64(), re, scale, &format!("logn={logn} case={case} re[{j}]"));
+                close(got.im.to_f64(), im, scale, &format!("logn={logn} case={case} im[{j}]"));
+            }
+        }
+    }
+}
+
+#[test]
+fn ifft_of_fft_is_identity() {
+    let mut st = 0x0069_6666_745F_6964_u64; // "ifft_id"
+    for logn in 3u32..=6 {
+        let n = 1usize << logn;
+        let coeffs: Vec<f64> = (0..n)
+            .map(|_| {
+                let u = (splitmix(&mut st) >> 11) as f64 / (1u64 << 53) as f64;
+                (2.0 * u - 1.0) * 1000.0
+            })
+            .collect();
+        let mut v: Vec<Fpr> = coeffs.iter().map(|&c| Fpr::from(c)).collect();
+        fft(&mut v);
+        ifft(&mut v);
+        for (i, (&got, &want)) in v.iter().zip(&coeffs).enumerate() {
+            close(got.to_f64(), want, want.abs(), &format!("logn={logn} roundtrip[{i}]"));
+        }
+    }
+}
+
+#[test]
+fn fft_of_monomial_is_the_root_powers() {
+    // FFT(x^k) must be exactly ζ_j^k — a closed form that exercises
+    // every root of the table independently of the generator above.
+    for logn in 3u32..=6 {
+        let n = 1usize << logn;
+        for k in [1usize, 2, n - 1] {
+            let mut v = vec![Fpr::ZERO; n];
+            v[k] = Fpr::from(1.0);
+            fft(&mut v);
+            for j in 0..n / 2 {
+                let ang = core::f64::consts::PI * (k * (2 * j + 1)) as f64 / n as f64;
+                let got = at(&v, j);
+                close(got.re.to_f64(), ang.cos(), 1.0, &format!("logn={logn} k={k} re[{j}]"));
+                close(got.im.to_f64(), ang.sin(), 1.0, &format!("logn={logn} k={k} im[{j}]"));
+            }
+        }
+    }
+}

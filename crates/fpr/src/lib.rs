@@ -45,4 +45,6 @@ pub use observe::{Lane, MulObserver, MulStep, NullObserver, RecordingObserver};
 pub use repr::Fpr;
 
 #[cfg(test)]
+mod fuzz_tests;
+#[cfg(test)]
 mod tests;

@@ -1,0 +1,139 @@
+//! Event sinks and the global emit switch.
+//!
+//! The default state is "no sink": [`emit`] then costs one relaxed
+//! atomic load and never builds the event. Installing a sink
+//! ([`set_sink`]) flips the switch; clearing it ([`clear_sink`])
+//! restores the zero-cost path.
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Receives structured events (must tolerate concurrent emitters).
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, ev: &Event);
+
+    /// Flushes any buffering (default: nothing).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Installing it is equivalent to — but slower
+/// than — [`clear_sink`]; it exists for tests and explicit plumbing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn emit(&self, _ev: &Event) {}
+}
+
+/// Writes one JSON object per line to an arbitrary writer.
+pub struct JsonlSink {
+    w: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer.
+    pub fn new(w: impl Write + Send + 'static) -> JsonlSink {
+        JsonlSink { w: Mutex::new(Box::new(w)) }
+    }
+
+    /// Creates (truncating) a JSONL file at `path`, buffered.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, ev: &Event) {
+        let mut line = ev.to_json();
+        line.push('\n');
+        let mut w = self.w.lock().expect("jsonl sink lock");
+        // A sink must never panic the pipeline on a full disk; drop the
+        // line instead.
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+/// Accumulates rendered JSON lines in memory (tests, harnesses).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// The captured lines so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink lock").clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("memory sink lock").len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, ev: &Event) {
+        self.lines.lock().expect("memory sink lock").push(ev.to_json());
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static RwLock<Option<Arc<dyn EventSink>>> {
+    static SINK: OnceLock<RwLock<Option<Arc<dyn EventSink>>>> = OnceLock::new();
+    SINK.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs the process-wide event sink and enables event emission.
+pub fn set_sink(sink: Arc<dyn EventSink>) {
+    *slot().write().expect("sink lock") = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the sink (flushing it first) and restores the zero-cost
+/// no-op path.
+pub fn clear_sink() {
+    ENABLED.store(false, Ordering::Release);
+    let prev = slot().write().expect("sink lock").take();
+    if let Some(s) = prev {
+        s.flush();
+    }
+}
+
+/// True when a sink is installed.
+#[inline]
+pub fn sink_enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Emits an event — lazily: `build` runs only when a sink is installed,
+/// so the disabled path is one atomic load plus the op-count bump.
+#[inline]
+pub fn emit<F: FnOnce() -> Event>(build: F) {
+    crate::note_op();
+    if !sink_enabled() {
+        return;
+    }
+    let sink = slot().read().expect("sink lock").clone();
+    if let Some(s) = sink {
+        s.emit(&build());
+    }
+}
