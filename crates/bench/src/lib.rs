@@ -4,6 +4,8 @@
 //! number of the paper's evaluation (see EXPERIMENTS.md for the index);
 //! the `benches/` targets are Criterion micro/macro benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod report;
 pub mod setup;

@@ -39,6 +39,8 @@
 //! assert_eq!(r.bits, truth);
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// Observability substrate (re-export of the standalone `falcon-obs`
 /// crate): metrics registry, timing spans and the structured event sink
 /// the pipeline instrumentation below feeds. The default sink is a

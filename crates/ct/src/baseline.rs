@@ -1,0 +1,159 @@
+//! Violation baselines: a checked-in JSONL file of fingerprints for
+//! known (grandfathered) violations, so CI fails only on *new* ones.
+//!
+//! Each line is a flat `falcon-obs` event record —
+//! `{"ev":"ct-baseline","file":…,"rule":…,"fp":…}` — parseable with
+//! [`falcon_obs::parse_jsonl`], the same format as every other
+//! machine-readable artifact in this workspace. The target state of
+//! the tree is an **empty** baseline: every real violation fixed, every
+//! deliberate exception documented inline with `// ct: allow(reason)`.
+
+use crate::lint::Violation;
+use falcon_obs::{parse_jsonl, Event, Value};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A loaded set of baselined violation fingerprints.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    fps: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Loads a baseline file. A missing file is an empty baseline (the
+    /// healthy state); a present-but-unparseable line is an error, so a
+    /// corrupted baseline cannot silently accept violations.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Baseline::default()),
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        };
+        let mut fps = BTreeSet::new();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields = parse_jsonl(line).ok_or_else(|| {
+                format!("{}:{}: unparseable baseline line", path.display(), idx + 1)
+            })?;
+            let fp = fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("fp", Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            });
+            match fp {
+                Some(fp) => {
+                    fps.insert(fp);
+                }
+                None => {
+                    return Err(format!(
+                        "{}:{}: baseline line has no `fp` field",
+                        path.display(),
+                        idx + 1
+                    ))
+                }
+            }
+        }
+        Ok(Baseline { fps })
+    }
+
+    /// Renders violations as baseline JSONL (sorted by fingerprint for
+    /// a stable diff).
+    pub fn render(violations: &[Violation]) -> String {
+        let mut lines: Vec<String> = violations
+            .iter()
+            .map(|v| {
+                Event::new("ct-baseline")
+                    .with_str("file", v.file.clone())
+                    .with_u64("line", v.line as u64)
+                    .with_str("rule", v.rule.id())
+                    .with_str("fp", v.fingerprint())
+                    .to_json()
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether a violation is grandfathered.
+    pub fn contains(&self, v: &Violation) -> bool {
+        self.fps.contains(&v.fingerprint())
+    }
+
+    /// Number of baselined fingerprints.
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// Whether the baseline is empty (the target state).
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// Fingerprints present in the baseline but not matched by any
+    /// current violation — stale entries that should be pruned.
+    pub fn stale(&self, violations: &[Violation]) -> Vec<String> {
+        let seen: BTreeSet<String> = violations.iter().map(|v| v.fingerprint()).collect();
+        self.fps.difference(&seen).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Rule;
+
+    fn sample() -> Violation {
+        Violation {
+            file: "crates/x/src/lib.rs".into(),
+            line: 10,
+            rule: Rule::SecretBranch,
+            message: "test".into(),
+            snippet: "if x { }".into(),
+        }
+    }
+
+    #[test]
+    fn render_load_roundtrip() {
+        let v = sample();
+        let text = Baseline::render(std::slice::from_ref(&v));
+        let dir = std::env::temp_dir().join("falcon-ct-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        std::fs::write(&path, &text).unwrap();
+        let b = Baseline::load(&path).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&v));
+        assert!(b.stale(&[v]).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let b = Baseline::load(Path::new("/nonexistent/ct-baseline.jsonl")).unwrap();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_survives_line_drift() {
+        let mut v2 = sample();
+        v2.line = 99;
+        v2.snippet = "if  x  {  }".into(); // reformatted whitespace
+        assert_eq!(sample().fingerprint(), v2.fingerprint());
+    }
+
+    #[test]
+    fn corrupt_line_is_an_error() {
+        let dir = std::env::temp_dir().join("falcon-ct-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(Baseline::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

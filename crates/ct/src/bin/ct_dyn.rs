@@ -1,0 +1,75 @@
+//! Dynamic constant-time checker runner.
+//!
+//! Runs every instrumented `falcon-fpr` primitive over fixed-vs-random
+//! secret operand classes and demands identical control-flow trace
+//! signatures; also runs the deliberately leaky detector fixture, which
+//! must be flagged.
+//!
+//! ```text
+//! ct_dyn [--iters N] [--seed N] [--json FILE]
+//! ```
+//!
+//! Exit status: 0 when all primitives are constant time *and* the
+//! leak detector fires on the fixture; 1 otherwise; 2 on usage errors.
+
+use falcon_ct::dyncheck::{check_all, check_leaky, DynConfig};
+use falcon_ct::report::dyn_report;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = DynConfig::default();
+    let mut json: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--iters" => it.next().and_then(|v| v.parse().ok()).map(|v| cfg.iters = v),
+            "--seed" => it.next().and_then(|v| v.parse().ok()).map(|v| cfg.seed = v),
+            "--json" => it.next().map(|v| json = Some(v.into())),
+            "--help" | "-h" => None,
+            _ => None,
+        };
+        if parsed.is_none() {
+            eprintln!("usage: ct_dyn [--iters N] [--seed N] [--json FILE]");
+            return ExitCode::from(2);
+        }
+    }
+
+    let _span = falcon_obs::span("ct.dyn");
+    let primitives = check_all(&cfg);
+    let leaky = check_leaky(&cfg);
+
+    let mut ok = true;
+    for o in &primitives {
+        if o.constant_time {
+            println!("ct_dyn: {:28} OK ({} runs, {} trace sites)", o.name, o.runs, o.sig_len);
+        } else {
+            println!("ct_dyn: {:28} LEAK — {}", o.name, o.detail);
+            ok = false;
+        }
+    }
+    if leaky.constant_time {
+        println!("ct_dyn: {:28} NOT FLAGGED — the detector is broken", leaky.name);
+        ok = false;
+    } else {
+        println!("ct_dyn: {:28} flagged as expected ({})", leaky.name, leaky.detail);
+    }
+
+    if let Some(path) = &json {
+        let doc = dyn_report(&cfg, &primitives, &leaky).render();
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("ct_dyn: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if ok {
+        println!(
+            "ct_dyn: all {} primitive(s) constant time; leak detector verified",
+            primitives.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

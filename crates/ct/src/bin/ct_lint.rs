@@ -1,0 +1,145 @@
+//! Secret-taint lint runner.
+//!
+//! Scans every `.rs` file under the workspace root for `ct: secret`
+//! region violations, prints them as `file:line: [rule] message`,
+//! optionally writes a JSON report, and compares against the checked-in
+//! baseline (`ct-baseline.jsonl` at the root).
+//!
+//! ```text
+//! ct_lint [--root DIR] [--json FILE] [--baseline FILE] [--update-baseline]
+//! ```
+//!
+//! Exit status: 0 when no new (non-baselined) violations, 1 when new
+//! violations exist, 2 on usage or I/O errors.
+
+use falcon_ct::report::lint_report;
+use falcon_ct::{Baseline, CallAllowlist};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: default_root(), json: None, baseline: None, update_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a value")?.into()),
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a value")?.into())
+            }
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => return Err(
+                "usage: ct_lint [--root DIR] [--json FILE] [--baseline FILE] [--update-baseline]"
+                    .into(),
+            ),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// containing `Cargo.toml` with a `[workspace]` table, else `.`.
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let _span = falcon_obs::span("ct.lint");
+    let baseline_path =
+        args.baseline.clone().unwrap_or_else(|| args.root.join("ct-baseline.jsonl"));
+
+    let allow = CallAllowlist::workspace_default();
+    let outcome = match falcon_ct::lint_tree(&args.root, &allow) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("ct_lint: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    falcon_obs::counter("ct.lint.files").add(outcome.files as u64);
+    falcon_obs::counter("ct.lint.violations").add(outcome.violations.len() as u64);
+
+    if args.update_baseline {
+        let text = Baseline::render(&outcome.violations);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("ct_lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "ct_lint: baselined {} violation(s) into {}",
+            outcome.violations.len(),
+            baseline_path.display()
+        );
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ct_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut new = 0usize;
+    for v in &outcome.violations {
+        if baseline.contains(v) {
+            println!("{v} [baselined]");
+        } else {
+            println!("{v}");
+            new += 1;
+        }
+    }
+    for fp in baseline.stale(&outcome.violations) {
+        eprintln!("ct_lint: stale baseline entry {fp} (violation no longer present — prune it)");
+    }
+
+    if let Some(json_path) = &args.json {
+        let doc = lint_report(&outcome, &baseline).render();
+        if let Err(e) = std::fs::write(json_path, doc) {
+            eprintln!("ct_lint: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    println!(
+        "ct_lint: {} file(s), {} line(s), {} secret region(s): {} violation(s) ({} new, {} baselined)",
+        outcome.files,
+        outcome.lines,
+        outcome.regions,
+        outcome.violations.len(),
+        new,
+        outcome.violations.len() - new,
+    );
+    if new > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,47 @@
+//! Constant-time verification for the Falcon Down reproduction.
+//!
+//! *Falcon Down* (DAC 2021) recovers FALCON signing keys from EM
+//! leakage of the `FFT(c) ⊙ FFT(f)` multiplication — leakage that
+//! exists because the emulated floating-point pipeline processes
+//! secret-derived values. Defensive hardening of that pipeline (and of
+//! the sampler feeding it) only holds if the code stays constant time
+//! as it evolves; this crate provides the two complementary checkers
+//! that enforce it:
+//!
+//! 1. **A secret-taint source lint** ([`lint`], `ct_lint` binary):
+//!    regions annotated `// ct: secret(…)` are checked, with line-level
+//!    taint propagation, for secret-dependent branches, memory indexing,
+//!    `/`/`%`, short-circuit booleans, and calls to non-allowlisted
+//!    functions. Violations carry `file:line`, render to JSON, and
+//!    compare against a checked-in [baseline](baseline) so CI fails
+//!    only on regressions.
+//! 2. **A dynamic trace checker** ([`dyncheck`], `ct_dyn` binary):
+//!    every `falcon-fpr` primitive runs over fixed-vs-random secret
+//!    operand classes (dudect style) with the `ct-check` trace hooks
+//!    armed, and the recorded control-flow signatures must be
+//!    identical. The deliberately leaky [`dyncheck::fpr_mul_leaky`]
+//!    fixture must be *flagged*, proving the detector works.
+//!
+//! The lexical pass catches what never executes in a test run; the
+//! dynamic pass catches what the lexer cannot see (macro-expanded or
+//! callee-internal branches). Run both:
+//!
+//! ```text
+//! cargo run -p falcon-ct --bin ct_lint
+//! cargo run -p falcon-ct --bin ct_dyn
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod dyncheck;
+pub mod lint;
+pub mod report;
+pub mod rules;
+pub mod scan;
+pub mod secret;
+
+pub use baseline::Baseline;
+pub use lint::{lint_source, lint_tree, FileOutcome, Rule, TreeOutcome, Violation};
+pub use rules::CallAllowlist;
+pub use secret::Secret;

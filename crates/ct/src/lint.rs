@@ -1,0 +1,564 @@
+//! The secret-taint lint: line-level taint tracking plus rule checks
+//! over `ct: secret` annotated regions.
+//!
+//! A region opens with `// ct: secret(a, b)`, which seeds a taint set
+//! with the named identifiers, and closes with `// ct: end`. Within a
+//! region, taint propagates through `let` bindings and assignments
+//! (any binding whose right-hand side mentions a tainted identifier
+//! taints its left-hand side), and four rules apply:
+//!
+//! * **secret-branch** — `if`/`while`/`match` conditions, range-based
+//!   `for` bounds, and short-circuit `&&`/`||` must not involve tainted
+//!   identifiers (short-circuit evaluation is itself a branch; the
+//!   constant-time idiom is bitwise `&`/`|` on `bool`).
+//! * **secret-index** — `x[i]` where the *index expression* mentions a
+//!   tainted identifier (a tainted base with a public index is a fixed
+//!   address and is fine).
+//! * **secret-divmod** — `/` or `%` on a tainted line: integer division
+//!   has data-dependent latency on every mainstream core.
+//! * **secret-call** — calls to functions outside the
+//!   [allowlist](crate::rules) on tainted lines, since the lint cannot
+//!   see into the callee.
+//!
+//! A fifth rule, **unsafe-code**, applies everywhere (regions or not):
+//! the workspace is `#![forbid(unsafe_code)]` and the lint backstops
+//! that for code the compiler has not seen yet (fixtures, cfg'd-out
+//! blocks). **annotation** reports malformed or unbalanced directives
+//! so a typo cannot silently disable checking.
+//!
+//! `// ct: allow(reason)` suppresses the rule checks for one line —
+//! the line it trails, or the next code-bearing line when it stands
+//! alone — and requires a reason. Lines whose code consists of a
+//! `debug_assert!` family macro are skipped entirely: they are compiled
+//! out of release signing builds.
+
+use crate::rules::CallAllowlist;
+use crate::scan::{directive, idents, Directive, Scrubber, Tok};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// Rule identifiers, ordered by severity for report sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Secret-dependent control flow.
+    SecretBranch,
+    /// Secret-dependent memory indexing.
+    SecretIndex,
+    /// `/` or `%` with secrets in scope.
+    SecretDivMod,
+    /// Non-allowlisted call with secrets in scope.
+    SecretCall,
+    /// Any `unsafe` token (workspace is `forbid(unsafe_code)`).
+    UnsafeCode,
+    /// Malformed or unbalanced `ct:` directive.
+    Annotation,
+}
+
+impl Rule {
+    /// Stable machine-readable identifier (used in reports/baselines).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::SecretBranch => "secret-branch",
+            Rule::SecretIndex => "secret-index",
+            Rule::SecretDivMod => "secret-divmod",
+            Rule::SecretCall => "secret-call",
+            Rule::UnsafeCode => "unsafe-code",
+            Rule::Annotation => "annotation",
+        }
+    }
+
+    /// Inverse of [`Rule::id`] (for baseline loading).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "secret-branch" => Some(Rule::SecretBranch),
+            "secret-index" => Some(Rule::SecretIndex),
+            "secret-divmod" => Some(Rule::SecretDivMod),
+            "secret-call" => Some(Rule::SecretCall),
+            "unsafe-code" => Some(Rule::UnsafeCode),
+            "annotation" => Some(Rule::Annotation),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path of the offending file (workspace-relative in tree scans).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation naming the tainted identifiers.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Violation {
+    /// Content-addressed fingerprint for baselining: hashes the file,
+    /// rule and whitespace-normalised snippet — but *not* the line
+    /// number, so unrelated edits above a baselined violation do not
+    /// resurface it.
+    pub fn fingerprint(&self) -> String {
+        let mut norm = String::with_capacity(self.snippet.len());
+        for (i, word) in self.snippet.split_whitespace().enumerate() {
+            if i > 0 {
+                norm.push(' ');
+            }
+            norm.push_str(word);
+        }
+        format!("{:016x}", fnv1a64(&format!("{}|{}|{}", self.file, self.rule.id(), norm)))
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// 64-bit FNV-1a over UTF-8 bytes.
+fn fnv1a64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of linting one source file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Violations found, in line order.
+    pub violations: Vec<Violation>,
+    /// Number of `ct: secret` regions opened.
+    pub regions: usize,
+    /// Lines scanned.
+    pub lines: usize,
+}
+
+/// Outcome of linting a source tree.
+#[derive(Debug, Default)]
+pub struct TreeOutcome {
+    /// Violations across all files, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files: usize,
+    /// Total `ct: secret` regions.
+    pub regions: usize,
+    /// Total lines scanned.
+    pub lines: usize,
+}
+
+/// Lints one file's source text.
+pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome {
+    let mut sc = Scrubber::new();
+    let mut out = FileOutcome::default();
+    // `None` = outside any region; `Some(taint)` = inside, with the
+    // current set of secret identifiers.
+    let mut taint: Option<BTreeSet<String>> = None;
+    let mut pending_allow = false;
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        out.lines = line;
+        let (code, comment) = sc.scrub(raw);
+        let code_blank = code.trim().is_empty();
+        let mut allowed = false;
+
+        match directive(&comment) {
+            Some(Directive::Secret(vars)) => {
+                if taint.is_none() {
+                    out.regions += 1;
+                    taint = Some(BTreeSet::new());
+                }
+                taint.as_mut().expect("just set").extend(vars);
+            }
+            Some(Directive::End) if taint.is_none() => {
+                push(
+                    &mut out,
+                    file,
+                    line,
+                    raw,
+                    Rule::Annotation,
+                    "ct: end without an open secret region".into(),
+                );
+            }
+            Some(Directive::End) => taint = None,
+            Some(Directive::Allow(_)) => {
+                if code_blank {
+                    pending_allow = true;
+                } else {
+                    allowed = true;
+                }
+            }
+            Some(Directive::Bad(msg)) => {
+                push(&mut out, file, line, raw, Rule::Annotation, msg);
+            }
+            None => {}
+        }
+        if code_blank {
+            continue;
+        }
+        if pending_allow {
+            allowed = true;
+            pending_allow = false;
+        }
+
+        let toks = idents(&code);
+        if toks.iter().any(|t| t.text == "unsafe") && !allowed {
+            push(
+                &mut out,
+                file,
+                line,
+                raw,
+                Rule::UnsafeCode,
+                "unsafe code (workspace is forbid(unsafe_code))".into(),
+            );
+        }
+
+        if let Some(set) = taint.as_mut() {
+            let skip = allowed || is_attribute(&code) || is_debug_assert(&code, &toks);
+            if !skip {
+                check_line(&code, &toks, set, allow, |rule, msg| {
+                    push(&mut out, file, line, raw, rule, msg);
+                });
+            }
+            propagate(&code, &toks, set);
+        }
+    }
+
+    if taint.is_some() {
+        let eof = out.lines + 1;
+        push(
+            &mut out,
+            file,
+            eof,
+            "",
+            Rule::Annotation,
+            "ct: secret region still open at end of file".into(),
+        );
+    }
+    out
+}
+
+fn push(out: &mut FileOutcome, file: &str, line: usize, raw: &str, rule: Rule, message: String) {
+    out.violations.push(Violation {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        snippet: raw.trim().to_string(),
+    });
+}
+
+/// `#[...]` attribute lines carry no executable code.
+fn is_attribute(code: &str) -> bool {
+    code.trim_start().starts_with('#')
+}
+
+/// Lines that are a `debug_assert!` family invocation: compiled out of
+/// release builds, so exempt from the constant-time rules.
+fn is_debug_assert(code: &str, toks: &[Tok]) -> bool {
+    code.trim_start().starts_with("debug_assert")
+        && toks.first().map(|t| t.text.starts_with("debug_assert")).unwrap_or(false)
+}
+
+/// Runs the in-region rule checks for one scrubbed line.
+fn check_line(
+    code: &str,
+    toks: &[Tok],
+    taint: &BTreeSet<String>,
+    allow: &CallAllowlist,
+    mut report: impl FnMut(Rule, String),
+) {
+    let chars: Vec<char> = code.chars().collect();
+    let tainted_here: Vec<&Tok> = toks.iter().filter(|t| taint.contains(&t.text)).collect();
+    let line_tainted = !tainted_here.is_empty();
+
+    // secret-branch: if/while/match conditions and range-based for.
+    for (i, t) in toks.iter().enumerate() {
+        let cond: Option<(usize, usize)> = match t.text.as_str() {
+            "if" | "while" | "match" => Some((t.end, brace_or_end(&chars, t.end))),
+            "for" => toks.get(i + 1..).and_then(|rest| {
+                // Only ranges (`a..b`) have a data-dependent trip
+                // count; iterating a secret-valued slice of public
+                // length is constant time.
+                let in_tok = rest.iter().find(|t| t.text == "in")?;
+                let end = brace_or_end(&chars, in_tok.end);
+                let seg: String = chars[in_tok.end..end].iter().collect();
+                seg.contains("..").then_some((in_tok.end, end))
+            }),
+            _ => None,
+        };
+        if let Some((lo, hi)) = cond {
+            let names = tainted_in_span(toks, taint, lo, hi);
+            if !names.is_empty() {
+                report(
+                    Rule::SecretBranch,
+                    format!(
+                        "`{}` condition depends on secret value(s) {}",
+                        t.text,
+                        names.join(", ")
+                    ),
+                );
+            }
+        }
+    }
+    // secret-branch: short-circuit operators evaluate their right side
+    // conditionally — a branch in disguise.
+    if line_tainted {
+        for pat in ["&&", "||"] {
+            if code.contains(pat) {
+                let names: Vec<&str> = tainted_here.iter().map(|t| t.text.as_str()).collect();
+                report(
+                    Rule::SecretBranch,
+                    format!("short-circuit `{pat}` with secret value(s) {} in scope (use bitwise `&`/`|`)", names.join(", ")),
+                );
+                break;
+            }
+        }
+    }
+
+    // secret-index: `base[expr]` with a tainted index expression.
+    let mut p = 0;
+    while p < chars.len() {
+        if chars[p] == '[' && is_index_bracket(&chars, p) {
+            let close = matching_bracket(&chars, p);
+            let names = tainted_in_span(toks, taint, p + 1, close);
+            if !names.is_empty() {
+                report(
+                    Rule::SecretIndex,
+                    format!("memory index depends on secret value(s) {}", names.join(", ")),
+                );
+            }
+            p = close;
+        }
+        p += 1;
+    }
+
+    // secret-divmod.
+    if line_tainted && chars.iter().any(|&c| c == '/' || c == '%') {
+        let names: Vec<&str> = tainted_here.iter().map(|t| t.text.as_str()).collect();
+        report(
+            Rule::SecretDivMod,
+            format!(
+                "`/` or `%` on a line with secret value(s) {} (division latency is data-dependent)",
+                names.join(", ")
+            ),
+        );
+    }
+
+    // secret-call.
+    if line_tainted {
+        for t in toks {
+            if is_keyword(&t.text)
+                || t.text.starts_with(char::is_uppercase)
+                || allow.allows(&t.text)
+            {
+                continue;
+            }
+            let mut j = t.end;
+            if chars.get(j) == Some(&'!') {
+                j += 1;
+            }
+            while chars.get(j) == Some(&' ') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'(') {
+                report(
+                    Rule::SecretCall,
+                    format!("call to `{}` (not on the constant-time allowlist) with secret value(s) in scope", t.text),
+                );
+            }
+        }
+    }
+}
+
+/// Tainted identifier names within a char span, deduplicated in order.
+fn tainted_in_span<'a>(
+    toks: &'a [Tok],
+    taint: &BTreeSet<String>,
+    lo: usize,
+    hi: usize,
+) -> Vec<&'a str> {
+    let mut names: Vec<&str> = Vec::new();
+    for t in toks {
+        if t.start >= lo
+            && t.end <= hi
+            && taint.contains(&t.text)
+            && !names.contains(&t.text.as_str())
+        {
+            names.push(&t.text);
+        }
+    }
+    names
+}
+
+/// Index of the first `{` at or after `from` (or end of line).
+fn brace_or_end(chars: &[char], from: usize) -> usize {
+    (from..chars.len()).find(|&i| chars[i] == '{').unwrap_or(chars.len())
+}
+
+/// Whether the `[` at `p` indexes a value (vs opening a literal, type
+/// or attribute): true when preceded by an identifier char, `]` or `)`.
+fn is_index_bracket(chars: &[char], p: usize) -> bool {
+    chars[..p]
+        .iter()
+        .rev()
+        .find(|c| **c != ' ')
+        .map(|&c| c.is_alphanumeric() || c == '_' || c == ']' || c == ')')
+        .unwrap_or(false)
+}
+
+/// Index of the `]` matching the `[` at `p` (or end of line).
+fn matching_bracket(chars: &[char], p: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in chars.iter().enumerate().skip(p) {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    chars.len()
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "fn"
+            | "pub"
+            | "crate"
+            | "super"
+            | "mod"
+            | "use"
+            | "in"
+            | "as"
+            | "where"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "move"
+            | "dyn"
+            | "unsafe"
+    )
+}
+
+/// Taint propagation through one line: if the right-hand side of a
+/// binding (`let x = …`, `x = …`, `x += …`, destructuring `let (a, b)
+/// = …`) mentions a tainted identifier, the left-hand side identifiers
+/// become tainted. Taint is never removed (conservative).
+fn propagate(code: &str, toks: &[Tok], taint: &mut BTreeSet<String>) {
+    let chars: Vec<char> = code.chars().collect();
+    let Some(p) = binding_eq(&chars) else { return };
+    let rhs_tainted = toks.iter().any(|t| t.start > p && taint.contains(&t.text));
+    if !rhs_tainted {
+        return;
+    }
+    for t in toks {
+        if t.start < p
+            && !is_keyword(&t.text)
+            && !t.text.starts_with(char::is_uppercase)
+            && t.text != "_"
+        {
+            taint.insert(t.text.clone());
+        }
+    }
+}
+
+/// Position of the binding `=` (plain or compound), if any: skips
+/// `==`, `!=`, `<=`, `>=` and `=>` but accepts `<<=`/`>>=`.
+fn binding_eq(chars: &[char]) -> Option<usize> {
+    for p in 0..chars.len() {
+        if chars[p] != '=' {
+            continue;
+        }
+        let prev = if p > 0 { chars[p - 1] } else { ' ' };
+        let next = chars.get(p + 1).copied().unwrap_or(' ');
+        if prev == '=' || prev == '!' || next == '=' || next == '>' {
+            continue;
+        }
+        if prev == '<' || prev == '>' {
+            let prev2 = if p > 1 { chars[p - 2] } else { ' ' };
+            if prev2 != prev {
+                continue; // `<=` / `>=`
+            }
+        }
+        return Some(p);
+    }
+    None
+}
+
+/// Lints every `.rs` file under `root`, skipping `target/` and hidden
+/// directories. Paths in the outcome are relative to `root` with `/`
+/// separators, so reports and baselines are machine-independent.
+pub fn lint_tree(root: &Path, allow: &CallAllowlist) -> std::io::Result<TreeOutcome> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = TreeOutcome { files: files.len(), ..TreeOutcome::default() };
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let fo = lint_source(rel, &src, allow);
+        out.regions += fo.regions;
+        out.lines += fo.lines;
+        out.violations.extend(fo.violations);
+    }
+    out.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

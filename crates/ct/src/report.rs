@@ -1,0 +1,110 @@
+//! Machine-readable JSON reports for the `ct_lint` and `ct_dyn`
+//! binaries, rendered with `falcon-bench`'s [`Json`] writer so the
+//! on-disk shape matches the other BENCH_/report artifacts.
+//!
+//! Reports are deterministic: fields are insertion-ordered, violations
+//! arrive pre-sorted from the lint, and no timestamps or absolute paths
+//! are embedded — two runs over the same tree render byte-identical
+//! documents (asserted by the crate's tests and diffable in CI).
+
+use crate::baseline::Baseline;
+use crate::dyncheck::{DynConfig, Outcome};
+use crate::lint::{TreeOutcome, Violation};
+use falcon_bench::json::Json;
+
+/// Builds the `ct_lint` report document.
+///
+/// `new` are violations absent from the baseline (CI-failing);
+/// `baselined` are grandfathered ones.
+pub fn lint_report(outcome: &TreeOutcome, baseline: &Baseline) -> Json {
+    let (mut new_v, mut old_v): (Vec<&Violation>, Vec<&Violation>) = (Vec::new(), Vec::new());
+    for v in &outcome.violations {
+        if baseline.contains(v) {
+            old_v.push(v);
+        } else {
+            new_v.push(v);
+        }
+    }
+    let stale = baseline.stale(&outcome.violations);
+    Json::obj()
+        .field("tool", "ct_lint")
+        .field("files", outcome.files)
+        .field("lines", outcome.lines)
+        .field("regions", outcome.regions)
+        .field("total_violations", outcome.violations.len())
+        .field("new_violations", new_v.len())
+        .field("baselined_violations", old_v.len())
+        .field("stale_baseline_entries", Json::Arr(stale.into_iter().map(Json::Str).collect()))
+        .field(
+            "violations",
+            Json::Arr(outcome.violations.iter().map(|v| violation_json(v, baseline)).collect()),
+        )
+}
+
+fn violation_json(v: &Violation, baseline: &Baseline) -> Json {
+    Json::obj()
+        .field("file", v.file.as_str())
+        .field("line", v.line)
+        .field("rule", v.rule.id())
+        .field("message", v.message.as_str())
+        .field("snippet", v.snippet.as_str())
+        .field("fp", v.fingerprint())
+        .field("baselined", baseline.contains(v))
+}
+
+/// Builds the `ct_dyn` report document. `leaky` is the detector-fixture
+/// outcome, which must have diverged for the harness to be trusted.
+pub fn dyn_report(cfg: &DynConfig, primitives: &[Outcome], leaky: &Outcome) -> Json {
+    let failures = primitives.iter().filter(|o| !o.constant_time).count();
+    Json::obj()
+        .field("tool", "ct_dyn")
+        .field("iters", cfg.iters)
+        .field("seed", cfg.seed)
+        .field("failures", failures)
+        .field("leak_detector_ok", !leaky.constant_time)
+        .field("primitives", Json::Arr(primitives.iter().map(outcome_json).collect()))
+        .field("leaky_fixture", outcome_json(leaky))
+}
+
+fn outcome_json(o: &Outcome) -> Json {
+    Json::obj()
+        .field("name", o.name)
+        .field("runs", o.runs)
+        .field("signature_sites", o.sig_len)
+        .field("constant_time", o.constant_time)
+        .field("detail", o.detail.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::CallAllowlist;
+
+    #[test]
+    fn lint_report_is_deterministic() {
+        let src = "// ct: secret(x)\nif x { y(); }\n// ct: end\n";
+        let allow = CallAllowlist::workspace_default();
+        let mk = || {
+            let fo = crate::lint::lint_source("f.rs", src, &allow);
+            let out = TreeOutcome {
+                violations: fo.violations,
+                files: 1,
+                regions: fo.regions,
+                lines: fo.lines,
+            };
+            lint_report(&out, &Baseline::default()).render()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn dyn_report_is_deterministic() {
+        let cfg = DynConfig { iters: 8, seed: 7 };
+        let mk = || {
+            let prims = crate::dyncheck::check_all(&cfg);
+            let leaky = crate::dyncheck::check_leaky(&cfg);
+            dyn_report(&cfg, &prims, &leaky).render()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,185 @@
+//! The call allowlist: functions the lint accepts on secret-tainted
+//! lines.
+//!
+//! Inside a `ct: secret` region every call whose name is not listed here
+//! (and does not start with an uppercase letter — type constructors
+//! such as `Fpr(..)` or `Cplx::new` merely move data) is reported as a
+//! `secret-call` violation: the lint cannot see into the callee, so only
+//! routines known to be constant time may receive secret values.
+//!
+//! The list has three tiers:
+//!
+//! 1. **Integer/bit primitives** from `core` that compile to
+//!    data-independent instructions on every supported target.
+//! 2. **Workspace arithmetic** verified by the dynamic trace checker
+//!    (`falcon-ct`'s fixed-vs-random harness) or built solely from
+//!    tier-1 operations.
+//! 3. **Data movement and instrumentation**: accessors, container
+//!    plumbing and the observer/trace hooks, which receive secrets by
+//!    design (they model the leaking device or feed the checker) and
+//!    perform no secret-dependent control flow of their own.
+
+use std::collections::BTreeSet;
+
+/// Names allowed in calls on secret-tainted lines. Kept sorted.
+pub const DEFAULT_CALL_ALLOWLIST: &[&str] = &[
+    // -- tier 1: core integer/bit primitives ---------------------------
+    "clamp",
+    "count_ones",
+    "from",
+    "into",
+    "leading_zeros",
+    "max",
+    "min",
+    "rotate_left",
+    "rotate_right",
+    "trailing_zeros",
+    "unsigned_abs",
+    "wrapping_add",
+    "wrapping_mul",
+    "wrapping_neg",
+    "wrapping_shl",
+    "wrapping_shr",
+    "wrapping_sub",
+    // -- tier 2: workspace arithmetic (dynamically verified) -----------
+    "abs",
+    "add",
+    "ber_exp",
+    "build",
+    "clamp_neg",
+    "coeff",
+    "conj",
+    "div",
+    "double",
+    "expm_p63",
+    "ff_sampling",
+    "floor",
+    "from_f64",
+    "from_i64",
+    "gaussian0",
+    "half",
+    "ifft",
+    "fft",
+    "inv",
+    "mask64",
+    "mul",
+    "mul63",
+    "mul_observed",
+    "neg",
+    "norm_sq",
+    "poly_add",
+    "poly_adj_fft",
+    "poly_div_fft",
+    "poly_merge_fft",
+    "poly_mul_fft",
+    "poly_mul_fft_observed",
+    "poly_muladj_fft",
+    "poly_mulconst",
+    "poly_mulselfadj_fft",
+    "poly_neg",
+    "poly_split_fft",
+    "poly_sub",
+    "rint",
+    "scale",
+    "scaled",
+    "sqr",
+    "sqrt",
+    "sub",
+    "to_fixed63",
+    "trunc",
+    "x_expm",
+    // -- tier 3: data movement and instrumentation ---------------------
+    "at",
+    "begin_coefficient",
+    "clone",
+    "collect",
+    "copied",
+    "exponent_bits",
+    "expose",
+    "fill",
+    "index",
+    "is_finite",
+    "is_zero",
+    "iter",
+    "iter_mut",
+    "len",
+    "map",
+    "mantissa_bits",
+    "new",
+    "next_u8",
+    "next_u64",
+    "push",
+    "record",
+    "set",
+    "sign_bit",
+    "site",
+    "to_bits",
+    "to_f64",
+    "unpack",
+    "zip",
+    // Debug-only assertion macros: compiled out of release signing
+    // builds, so their (possibly short-circuiting) conditions never
+    // execute on the attacked device.
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// A set of call names the lint accepts on secret-tainted lines.
+#[derive(Debug, Clone)]
+pub struct CallAllowlist {
+    names: BTreeSet<String>,
+}
+
+impl CallAllowlist {
+    /// The workspace default: [`DEFAULT_CALL_ALLOWLIST`].
+    pub fn workspace_default() -> CallAllowlist {
+        CallAllowlist { names: DEFAULT_CALL_ALLOWLIST.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// An empty allowlist (every call on a tainted line is flagged);
+    /// used by the lint's own negative tests.
+    pub fn empty() -> CallAllowlist {
+        CallAllowlist { names: BTreeSet::new() }
+    }
+
+    /// Adds a name (builder style, for tests and local overrides).
+    #[must_use]
+    pub fn with(mut self, name: &str) -> CallAllowlist {
+        self.names.insert(name.to_string());
+        self
+    }
+
+    /// Whether `name` may be called with secrets in scope.
+    pub fn allows(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+impl Default for CallAllowlist {
+    fn default() -> CallAllowlist {
+        CallAllowlist::workspace_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_list_is_sorted_within_tiers() {
+        // Sortedness keeps diffs reviewable; each tier is alphabetical.
+        let list = CallAllowlist::workspace_default();
+        assert!(list.allows("wrapping_neg"));
+        assert!(list.allows("debug_assert"));
+        assert!(!list.allows("println"));
+        assert!(!list.allows("format"));
+    }
+
+    #[test]
+    fn with_extends() {
+        let list = CallAllowlist::empty().with("my_ct_helper");
+        assert!(list.allows("my_ct_helper"));
+        assert!(!list.allows("mul"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Lexical preprocessing for the lint: comment/literal stripping,
+//! identifier tokenisation, and `ct:` directive parsing.
+//!
+//! The lint works line by line on *scrubbed* source: string and char
+//! literal contents are blanked (so operators and identifiers inside
+//! them never reach the rule checks), comments are separated out (so
+//! directives can be read from them), and lifetimes are removed (so
+//! `'a` does not tokenise as the identifier `a`). Block comments nest,
+//! as they do in Rust, and their state persists across lines.
+
+/// Strips comments and literals from Rust source, one line at a time.
+#[derive(Debug, Default)]
+pub struct Scrubber {
+    /// Nesting depth of `/* */` comments carried across lines.
+    block_depth: usize,
+}
+
+impl Scrubber {
+    /// A scrubber at the start of a file.
+    pub fn new() -> Scrubber {
+        Scrubber::default()
+    }
+
+    /// Splits one source line into (code, line-comment text).
+    ///
+    /// The code part has string/char contents blanked and block-comment
+    /// spans removed; the comment part is everything after `//` (empty
+    /// when there is none). Doc comments (`///`, `//!`) yield comment
+    /// text starting with `/` or `!`, which [`directive`] ignores, so
+    /// directive examples inside documentation are inert.
+    pub fn scrub(&mut self, raw: &str) -> (String, String) {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if self.block_depth > 0 {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match chars[i] {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    comment = chars[i + 2..].iter().collect();
+                    break;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    self.block_depth = 1;
+                    code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    code.push_str("\"\"");
+                    i = skip_string(&chars, i + 1);
+                }
+                '\'' => {
+                    i = self.scrub_quote(&chars, i, &mut code);
+                }
+                c if c.is_alphanumeric() || c == '_' => {
+                    if let Some(end) = raw_string_end(&chars, i) {
+                        code.push_str("\"\"");
+                        i = end;
+                    } else {
+                        while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                            code.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        (code, comment)
+    }
+
+    /// Handles a `'`: char literal (blanked) or lifetime (dropped).
+    fn scrub_quote(&mut self, chars: &[char], i: usize, code: &mut String) -> usize {
+        let next = chars.get(i + 1);
+        if next == Some(&'\\') {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 3;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            code.push_str("''");
+            j + 1
+        } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+            code.push_str("''");
+            i + 3
+        } else {
+            // Lifetime: skip the quote and the following identifier.
+            let mut j = i + 1;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                j += 1;
+            }
+            j
+        }
+    }
+}
+
+/// Scans past a (single-line) string literal starting after the opening
+/// quote; returns the index after the closing quote.
+fn skip_string(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If the identifier starting at `i` opens a raw string (`r"…"`,
+/// `r#"…"#`, `br"…"`), returns the index just past it.
+fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
+        j += 1;
+    }
+    if chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    while j < chars.len() {
+        if chars[j] == '"'
+            && chars[j + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// An identifier (or keyword) token with its char-index span in the
+/// scrubbed code line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text.
+    pub text: String,
+    /// Char index of the first character.
+    pub start: usize,
+    /// Char index one past the last character.
+    pub end: usize,
+}
+
+/// Extracts identifier/keyword tokens from a scrubbed code line.
+/// Numeric literals (anything starting with a digit, including suffixed
+/// forms like `55u64` and `0x1FF`) are dropped.
+pub fn idents(code: &str) -> Vec<Tok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_alphanumeric() || chars[i] == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            if !chars[start].is_ascii_digit() {
+                out.push(Tok { text: chars[start..i].iter().collect(), start, end: i });
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A parsed `// ct:` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `ct: secret(a, b)` — open (or extend) a secret region, seeding
+    /// the taint set with the named identifiers.
+    Secret(Vec<String>),
+    /// `ct: end` — close the current secret region.
+    End,
+    /// `ct: allow(reason)` — suppress rule checks on this line (when
+    /// trailing code) or the next code-bearing line (when standalone).
+    Allow(String),
+    /// A `ct:` comment that parses as none of the above; reported as an
+    /// `annotation` violation so typos cannot silently disable checks.
+    Bad(String),
+}
+
+/// Parses a line comment as a `ct:` directive. Comments not starting
+/// with `ct:` (after whitespace) are not directives.
+pub fn directive(comment: &str) -> Option<Directive> {
+    let rest = comment.trim_start().strip_prefix("ct:")?.trim();
+    if rest == "end" {
+        return Some(Directive::End);
+    }
+    if let Some(inner) = parenthesised(rest, "secret") {
+        let vars: Vec<String> =
+            inner.split(',').map(|v| v.trim().to_string()).filter(|v| !v.is_empty()).collect();
+        if vars.is_empty() || vars.iter().any(|v| !is_ident(v)) {
+            return Some(Directive::Bad(format!("malformed secret(...) variable list: `{rest}`")));
+        }
+        return Some(Directive::Secret(vars));
+    }
+    if let Some(inner) = parenthesised(rest, "allow") {
+        let reason = inner.trim();
+        if reason.is_empty() {
+            return Some(Directive::Bad("allow(...) requires a reason".to_string()));
+        }
+        return Some(Directive::Allow(reason.to_string()));
+    }
+    Some(Directive::Bad(format!("unrecognised ct directive: `{rest}`")))
+}
+
+/// Extracts `inner` from `head(inner)` (trailing text after the closing
+/// parenthesis is tolerated so prose may follow a directive).
+fn parenthesised<'a>(rest: &'a str, head: &str) -> Option<&'a str> {
+    let args = rest.strip_prefix(head)?.trim_start();
+    let args = args.strip_prefix('(')?;
+    let close = args.rfind(')')?;
+    Some(&args[..close])
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut cs = s.chars();
+    cs.next().map(|c| c.is_alphabetic() || c == '_').unwrap_or(false)
+        && cs.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrub1(s: &str) -> (String, String) {
+        Scrubber::new().scrub(s)
+    }
+
+    #[test]
+    fn strings_and_chars_blank() {
+        let (code, _) = scrub1(r#"let x = "a / b % c"; let c = '%';"#);
+        assert!(!code.contains('/'), "{code}");
+        assert!(!code.contains('%'), "{code}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_tokenise() {
+        let (code, _) = scrub1("fn f<'a>(x: &'a str) {}");
+        let toks: Vec<String> = idents(&code).into_iter().map(|t| t.text).collect();
+        assert!(!toks.contains(&"a".to_string()), "{toks:?}");
+    }
+
+    #[test]
+    fn block_comments_nest_across_lines() {
+        let mut sc = Scrubber::new();
+        let (c1, _) = sc.scrub("let a = 1; /* open /* nested */");
+        let (c2, _) = sc.scrub("still a comment */ let b = 2;");
+        assert!(c1.contains("let a"));
+        assert!(!c2.contains("still"));
+        assert!(c2.contains("let b"));
+    }
+
+    #[test]
+    fn directives_parse() {
+        assert_eq!(
+            directive(" ct: secret(self, rhs)"),
+            Some(Directive::Secret(vec!["self".into(), "rhs".into()]))
+        );
+        assert_eq!(directive(" ct: end"), Some(Directive::End));
+        assert_eq!(
+            directive(" ct: allow(reference lazy loop)"),
+            Some(Directive::Allow("reference lazy loop".into()))
+        );
+        assert!(matches!(directive(" ct: secrt(x)"), Some(Directive::Bad(_))));
+        assert!(matches!(directive(" ct: allow()"), Some(Directive::Bad(_))));
+        assert_eq!(directive(" plain comment"), None);
+        // Doc-comment text starts with '/' or '!' and is ignored.
+        assert_eq!(directive("/ ct: secret(x)"), None);
+    }
+
+    #[test]
+    fn numeric_literals_are_not_idents() {
+        let toks: Vec<String> =
+            idents("let x = 0x1FF + 55u64 + 2.0f64;").into_iter().map(|t| t.text).collect();
+        assert_eq!(toks, vec!["let", "x"]);
+    }
+}

@@ -1,0 +1,66 @@
+//! A marker newtype for secret values in checker harnesses.
+
+use std::fmt;
+
+/// Wraps a value that must be treated as secret.
+///
+/// The wrapper is deliberately thin — it adds no runtime protection —
+/// but it makes dataflow explicit at API boundaries: the dynamic
+/// checker's operand generators return `Secret<Fpr>` so a reader can
+/// see at a glance which operand class is being varied between the
+/// fixed and random runs, and `Debug` redacts the payload so secrets
+/// cannot leak through panic messages or log lines by accident.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Secret<T>(T);
+
+impl<T> Secret<T> {
+    /// Marks a value as secret.
+    #[inline]
+    pub fn new(value: T) -> Secret<T> {
+        Secret(value)
+    }
+
+    /// Unwraps the value for use inside a checked primitive. The name
+    /// is deliberately loud: every call site is a place where a secret
+    /// enters computation.
+    #[inline]
+    pub fn expose(self) -> T {
+        self.0
+    }
+
+    /// Applies a function to the secret, keeping the marker.
+    #[inline]
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Secret<U> {
+        Secret(f(self.0))
+    }
+}
+
+impl<T> From<T> for Secret<T> {
+    #[inline]
+    fn from(value: T) -> Secret<T> {
+        Secret(value)
+    }
+}
+
+impl<T> fmt::Debug for Secret<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Secret(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_redacts() {
+        let s = Secret::new(0xdead_beefu64);
+        assert_eq!(format!("{s:?}"), "Secret(<redacted>)");
+    }
+
+    #[test]
+    fn map_and_expose() {
+        let s = Secret::new(21u32).map(|v| v * 2);
+        assert_eq!(s.expose(), 42);
+    }
+}

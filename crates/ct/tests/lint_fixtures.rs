@@ -1,0 +1,151 @@
+//! Positive and negative lint fixtures: each rule must fire on the
+//! violating source and stay quiet on the constant-time rewrite.
+//!
+//! Fixture sources are string literals, so the workspace-wide scan (see
+//! `workspace_lint.rs`) never sees them — the scrubber blanks string
+//! contents before any rule runs.
+
+use falcon_ct::{lint_source, CallAllowlist, Rule};
+
+fn rules_of(src: &str) -> Vec<Rule> {
+    let out = lint_source("fixture.rs", src, &CallAllowlist::workspace_default());
+    out.violations.iter().map(|v| v.rule).collect()
+}
+
+fn assert_clean(src: &str) {
+    let out = lint_source("fixture.rs", src, &CallAllowlist::workspace_default());
+    assert!(out.violations.is_empty(), "expected clean, got: {:#?}", out.violations);
+}
+
+#[test]
+fn secret_branch_on_if() {
+    let src = "// ct: secret(key)\nif key > 0 { x = 1; }\n// ct: end\n";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn secret_branch_on_while_and_match() {
+    let src = "// ct: secret(k)\nwhile k != 0 { }\nmatch k { _ => {} }\n// ct: end\n";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch, Rule::SecretBranch]);
+}
+
+#[test]
+fn secret_branch_on_range_for_but_not_slice_for() {
+    // A secret range bound is a data-dependent trip count…
+    let tainted_range = "// ct: secret(n)\nfor i in 0..n { }\n// ct: end\n";
+    assert_eq!(rules_of(tainted_range), vec![Rule::SecretBranch]);
+    // …but iterating a secret-valued slice of public length is fine.
+    let slice = "// ct: secret(buf)\nfor b in buf.iter() { }\n// ct: end\n";
+    assert_clean(slice);
+}
+
+#[test]
+fn short_circuit_booleans_are_branches() {
+    let src = "// ct: secret(a)\nlet ok = a > 0 && flag;\n// ct: end\n";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+    // The constant-time idiom passes.
+    assert_clean("// ct: secret(a)\nlet ok = (a > 0) & flag;\n// ct: end\n");
+}
+
+#[test]
+fn secret_index_flags_index_not_base() {
+    // Secret used as the index: flagged.
+    let bad = "// ct: secret(j)\nlet v = table[j];\n// ct: end\n";
+    assert_eq!(rules_of(bad), vec![Rule::SecretIndex]);
+    // Secret-valued base with a public index: fixed address, clean.
+    assert_clean("// ct: secret(buf)\nlet v = buf[3];\n// ct: end\n");
+}
+
+#[test]
+fn secret_divmod() {
+    let src = "// ct: secret(x)\nlet q = x / 3;\nlet r = x % 3;\n// ct: end\n";
+    assert_eq!(rules_of(src), vec![Rule::SecretDivMod, Rule::SecretDivMod]);
+    // Division inside a string or on an untainted line is fine.
+    assert_clean("// ct: secret(x)\nlet msg = \"a/b\";\nlet half = n / 2;\n// ct: end\n");
+}
+
+#[test]
+fn secret_call_respects_allowlist() {
+    let bad = "// ct: secret(x)\nlet y = mystery(x);\n// ct: end\n";
+    assert_eq!(rules_of(bad), vec![Rule::SecretCall]);
+    // Allowlisted and constructor calls pass.
+    assert_clean("// ct: secret(x)\nlet y = x.wrapping_neg();\nlet z = Fpr(x);\n// ct: end\n");
+    // A custom allowlist can admit local helpers.
+    let allow = CallAllowlist::workspace_default().with("mystery");
+    let out = lint_source("fixture.rs", bad, &allow);
+    assert!(out.violations.is_empty());
+}
+
+#[test]
+fn unsafe_flagged_everywhere() {
+    // Outside any region.
+    let src = "fn f() { let p = unsafe { *ptr }; }\n";
+    assert_eq!(rules_of(src), vec![Rule::UnsafeCode]);
+}
+
+#[test]
+fn taint_propagates_through_bindings() {
+    // y inherits x's taint through the let, so the branch on y fires.
+    let src = "// ct: secret(x)\nlet y = x + 1;\nif y > 0 { }\n// ct: end\n";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+    // Compound assignment also propagates.
+    let src2 = "// ct: secret(x)\nlet mut acc = 0;\nacc += x;\nif acc > 0 { }\n// ct: end\n";
+    assert_eq!(rules_of(src2), vec![Rule::SecretBranch]);
+    // Destructuring taints every bound name.
+    let src3 = "// ct: secret(pair)\nlet (a, b) = pair;\nif b == 0 { }\n// ct: end\n";
+    assert_eq!(rules_of(src3), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn allow_suppresses_one_line() {
+    // Trailing form.
+    let t = "// ct: secret(x)\nif x > 0 { } // ct: allow(documented rejection)\n// ct: end\n";
+    assert_clean(t);
+    // Standalone form applies to the next code line only.
+    let s = "// ct: secret(x)\n// ct: allow(documented rejection)\nif x > 0 { }\nif x < 0 { }\n// ct: end\n";
+    assert_eq!(rules_of(s), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn annotation_errors() {
+    // Empty allow reason.
+    assert_eq!(rules_of("// ct: allow()\n"), vec![Rule::Annotation]);
+    // Unknown directive (typo cannot silently disable checking).
+    assert_eq!(rules_of("// ct: secert(x)\n"), vec![Rule::Annotation]);
+    // Unbalanced end.
+    assert_eq!(rules_of("// ct: end\n"), vec![Rule::Annotation]);
+    // Region left open at EOF.
+    assert_eq!(rules_of("// ct: secret(x)\nlet y = x;\n"), vec![Rule::Annotation]);
+}
+
+#[test]
+fn debug_asserts_are_exempt() {
+    let src = "// ct: secret(m)\ndebug_assert!(m == 0 || m > 7, \"bad\");\n// ct: end\n";
+    assert_clean(src);
+}
+
+#[test]
+fn checks_stop_at_region_end() {
+    let src = "// ct: secret(x)\nlet y = x;\n// ct: end\nif y > 0 { }\n";
+    assert_clean(src);
+}
+
+#[test]
+fn doc_comment_directives_are_inert() {
+    let src = "/// Example: `// ct: secret(x)` opens a region.\nfn f() {}\n";
+    assert_clean(src);
+}
+
+#[test]
+fn violations_carry_location_and_fingerprint() {
+    let src = "// ct: secret(k)\nlet a = 1;\nif k > 0 { }\n// ct: end\n";
+    let out = lint_source("crates/x/src/f.rs", src, &CallAllowlist::workspace_default());
+    assert_eq!(out.violations.len(), 1);
+    let v = &out.violations[0];
+    assert_eq!((v.file.as_str(), v.line), ("crates/x/src/f.rs", 3));
+    assert_eq!(v.fingerprint().len(), 16);
+    assert_eq!(out.regions, 1);
+    // Display is file:line: [rule] message.
+    let shown = v.to_string();
+    assert!(shown.starts_with("crates/x/src/f.rs:3: [secret-branch]"), "{shown}");
+}

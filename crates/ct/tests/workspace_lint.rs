@@ -1,0 +1,45 @@
+//! Lints the actual workspace tree: `cargo test` enforces the same
+//! zero-new-violations contract as the CI `ct-verify` job, so a
+//! secret-dependent branch cannot land even without the binary running.
+
+use falcon_ct::{lint_tree, Baseline, CallAllowlist};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/ct/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn workspace_has_no_new_violations() {
+    let root = workspace_root();
+    let outcome = lint_tree(root, &CallAllowlist::workspace_default()).expect("scan workspace");
+    assert!(outcome.files > 50, "suspiciously few files scanned: {}", outcome.files);
+    assert!(
+        outcome.regions >= 15,
+        "expected the fpr/falcon secret regions to be annotated, found {}",
+        outcome.regions
+    );
+    let baseline = Baseline::load(&root.join("ct-baseline.jsonl")).expect("baseline parses");
+    let new: Vec<String> = outcome
+        .violations
+        .iter()
+        .filter(|v| !baseline.contains(v))
+        .map(|v| v.to_string())
+        .collect();
+    assert!(new.is_empty(), "new constant-time violations:\n{}", new.join("\n"));
+}
+
+#[test]
+fn baseline_is_empty_and_current() {
+    // The tree's target state: no grandfathered violations at all. If a
+    // violation ever has to be baselined, this test documents the
+    // regression by failing until it is fixed or explicitly allowed
+    // inline with `// ct: allow(reason)`.
+    let baseline = Baseline::load(&workspace_root().join("ct-baseline.jsonl")).expect("parses");
+    assert!(
+        baseline.is_empty(),
+        "ct-baseline.jsonl has {} grandfathered violation(s); fix them or document with ct: allow",
+        baseline.len()
+    );
+}

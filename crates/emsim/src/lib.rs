@@ -21,6 +21,8 @@
 //! * [`ntt_leak`] — the same leakage model applied to an NTT-based
 //!   implementation, for the paper's §V.C FFT-vs-NTT comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod faults;
 pub mod leakage;

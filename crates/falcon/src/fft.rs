@@ -54,11 +54,13 @@ impl Cplx {
     /// `FPC_MUL` macro).
     #[inline]
     pub fn mul(self, o: Cplx) -> Cplx {
+        // ct: secret(self, o)
         let m0 = self.re * o.re;
         let m1 = self.im * o.im;
         let m2 = self.re * o.im;
         let m3 = self.im * o.re;
         Cplx::new(m0 - m1, m2 + m3)
+        // ct: end
     }
 
     /// Complex conjugate.
@@ -108,8 +110,6 @@ fn roots(logn: u32) -> &'static [Cplx] {
     &tables[logn as usize]
 }
 
-// Index arithmetic mirrors the butterfly structure; keep explicit loops.
-#[allow(clippy::needless_range_loop)]
 fn fft_complex(coeffs: &[Fpr]) -> Vec<Cplx> {
     let n = coeffs.len();
     debug_assert!(n.is_power_of_two() && n >= 2);
@@ -231,9 +231,11 @@ pub fn poly_adj_fft(a: &mut [Fpr]) {
 /// FFT-domain pointwise multiplication `a ← a ⊙ b`.
 pub fn poly_mul_fft(a: &mut [Fpr], b: &[Fpr]) {
     let hn = a.len() / 2;
+    // ct: secret(a, b)
     for j in 0..hn {
         set(a, j, at(a, j).mul(at(b, j)));
     }
+    // ct: end
 }
 
 /// FFT-domain pointwise multiplication `a ← a ⊙ b` where `a` holds the
@@ -244,10 +246,10 @@ pub fn poly_mul_fft(a: &mut [Fpr], b: &[Fpr]) {
 /// **secret** `Fpr` operand involved (`j` for real parts, `j + n/2` for
 /// imaginary parts), exactly the granularity at which the *Falcon Down*
 /// attack recovers `FFT(f)`.
-#[allow(clippy::needless_range_loop)] // j is the coefficient index reported to the observer
 pub fn poly_mul_fft_observed<O: MulObserver>(a: &mut [Fpr], b: &[Fpr], obs: &mut O) {
     let n = a.len();
     let hn = n / 2;
+    // ct: secret(a, b)
     for j in 0..hn {
         let x = at(a, j);
         let y = at(b, j);
@@ -261,6 +263,7 @@ pub fn poly_mul_fft_observed<O: MulObserver>(a: &mut [Fpr], b: &[Fpr], obs: &mut
         let m3 = x.im.mul_observed(y.re, obs);
         set(a, j, Cplx::new(m0 - m1, m2 + m3));
     }
+    // ct: end
 }
 
 /// FFT-domain multiplication by the adjoint: `a ← a ⊙ adj(b)`.
@@ -322,7 +325,6 @@ pub fn poly_split_fft(f: &[Fpr]) -> (Vec<Fpr>, Vec<Fpr>) {
 }
 
 /// Inverse of [`poly_split_fft`].
-#[allow(clippy::needless_range_loop)] // j indexes the paired butterfly roots
 pub fn poly_merge_fft(f0: &[Fpr], f1: &[Fpr]) -> Vec<Fpr> {
     let hn = f0.len();
     let n = 2 * hn;

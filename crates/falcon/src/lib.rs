@@ -32,6 +32,8 @@
 //! assert!(kp.verifying_key().verify(b"message", &sig));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod ffsampling;
 pub mod fft;

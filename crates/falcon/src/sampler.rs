@@ -44,6 +44,10 @@ fn rcdt() -> &'static [u128; RCDT_LEN] {
 pub fn gaussian0(rng: &mut Prng) -> i64 {
     let mut bytes = [0u8; 9];
     rng.fill(&mut bytes);
+    // The drawn randomness and everything derived from it is secret:
+    // the sampled value feeds the signature's short vector. The table
+    // scan visits every RCDT entry with a branch-free accumulate.
+    // ct: secret(bytes, v, z)
     let mut v: u128 = 0;
     for &b in &bytes {
         v = (v << 8) | b as u128;
@@ -53,10 +57,12 @@ pub fn gaussian0(rng: &mut Prng) -> i64 {
         z += i64::from(v < t);
     }
     z
+    // ct: end
 }
 
 /// Bernoulli trial with probability `ccs · exp(−x)` (for `x ≥ 0`).
 pub fn ber_exp(rng: &mut Prng, x: Fpr, ccs: Fpr) -> bool {
+    // ct: secret(x, ccs)
     // Split x = s·ln2 + r with r in [0, ln2).
     let s = (x * INV_LN2).trunc();
     let r = x - Fpr::from_i64(s) * LN2;
@@ -65,14 +71,19 @@ pub fn ber_exp(rng: &mut Prng, x: Fpr, ccs: Fpr) -> bool {
     // sound when the value would be exactly 2^64.
     let z = ((x_expm(r, ccs) << 1).wrapping_sub(1)) >> s;
     // Lazy bytewise comparison of a uniform 64-bit value against z.
+    // Each extra iteration happens only when a fresh uniform byte
+    // exactly matches the corresponding byte of z (probability 2^-8),
+    // matching the reference implementation's BerExp loop.
     let mut i = 64i32;
     loop {
         i -= 8;
         let w = rng.next_u8() as i32 - ((z >> i) & 0xFF) as i32;
+        // ct: allow(reference-matching lazy comparison, early exit taken with probability 255/256 per fresh random byte)
         if w != 0 || i == 0 {
             return w < 0;
         }
     }
+    // ct: end
 }
 
 #[inline]
@@ -85,6 +96,9 @@ fn x_expm(r: Fpr, ccs: Fpr) -> u64 {
 /// `isigma = 1/σ'` and `sigma_min` must satisfy
 /// `σ_min ≤ σ' ≤ σ_max = 1.8205`.
 pub fn sampler_z(rng: &mut Prng, mu: Fpr, isigma: Fpr, sigma_min: Fpr) -> i64 {
+    // The center and width are key-derived; the candidate z and the
+    // base-sampler draw z0 are secret until a candidate is accepted.
+    // ct: secret(mu, isigma, z0, b, z)
     // Split the center: mu = s + r, r in [0, 1).
     let s = mu.floor();
     let r = mu - Fpr::from_i64(s);
@@ -99,10 +113,12 @@ pub fn sampler_z(rng: &mut Prng, mu: Fpr, isigma: Fpr, sigma_min: Fpr) -> i64 {
         let zf = Fpr::from_i64(z);
         let d = zf - r;
         let x = d.sqr() * dss - Fpr::from_i64(z0 * z0) * INV_2SQRSIGMA0;
+        // ct: allow(rejection sampling, the accept/reject loop is the specified sampler construction)
         if ber_exp(rng, x, ccs) {
             return s + z;
         }
     }
+    // ct: end
 }
 
 #[cfg(test)]

@@ -109,6 +109,7 @@ pub fn sign_with_salt<O: MulObserver>(
 
     // t1 = (1/q)·FFT(c) ⊙ FFT(f)  — the attacked multiplication; the
     // secret operand comes first so the observer indexes FFT(f).
+    // ct: secret(sk, t1, t0)
     let mut t1 = sk.f_fft.clone();
     poly_mul_fft_observed(&mut t1, &c_fft, obs);
     poly_mulconst(&mut t1, inv_q);
@@ -150,9 +151,14 @@ pub fn sign_with_salt<O: MulObserver>(
         let s1i: Vec<i16> = s1.iter().map(|v| v.rint() as i16).collect();
         let s2i: Vec<i16> = s2.iter().map(|v| v.rint() as i16).collect();
 
+        // The accept/reject decision is the scheme's specified output
+        // conditioning and the accepted vector is published as the
+        // signature; the branch mirrors the reference control flow.
+        // ct: allow(rejection sampling on the published norm bound)
         if norm_sq(&[&s1i, &s2i]) > bound {
             continue;
         }
+        // ct: end
         // Compression failure → new salt (outer loop).
         return Signature::from_parts(logn, salt, s2i);
     }

@@ -13,65 +13,70 @@ impl Fpr {
     /// sticky bit absorbing everything shifted out, the result is
     /// renormalised and rounded, and subnormal results flush to zero.
     pub fn add(self, rhs: Fpr) -> Fpr {
+        crate::ctcheck::site(crate::ctcheck::sites::ADD);
+        // ct: secret(self, rhs)
         // Order operands so that |x| >= |y|; when magnitudes are equal,
         // prefer the non-negative one first so that exact cancellation
-        // yields +0 (IEEE round-to-nearest behaviour).
-        let (x, y) = {
-            let ax = self.0 & !(1u64 << 63);
-            let ay = rhs.0 & !(1u64 << 63);
-            if ax < ay || (ax == ay && self.sign_bit() == 1) {
-                (rhs, self)
-            } else {
-                (self, rhs)
-            }
-        };
+        // yields +0 (IEEE round-to-nearest behaviour). The swap is a
+        // mask select rather than a branch.
+        let am = self.0 & !(1u64 << 63);
+        let bm = rhs.0 & !(1u64 << 63);
+        let swap = (((am < bm) | ((am == bm) & (self.sign_bit() == 1))) as u64).wrapping_neg();
+        let x = Fpr((self.0 & !swap) | (rhs.0 & swap));
+        let y = Fpr((rhs.0 & !swap) | (self.0 & swap));
 
         let sx = x.sign_bit();
         let sy = y.sign_bit();
 
         // Scale mantissas up by 8 (three guard bits) and express both
         // values as m * 2^(e): a zero exponent field means the value is
-        // zero, so the implicit bit is only set for nonzero operands.
+        // zero, so the implicit bit is only kept for nonzero operands
+        // (masked, not branched).
         let exf = x.exponent_bits() as i32;
         let eyf = y.exponent_bits() as i32;
-        let xu = if exf == 0 { 0 } else { (x.mantissa_bits() | (1u64 << 52)) << 3 };
-        let mut yu = if eyf == 0 { 0 } else { (y.mantissa_bits() | (1u64 << 52)) << 3 };
+        let xm = ((exf != 0) as u64).wrapping_neg();
+        let ym = ((eyf != 0) as u64).wrapping_neg();
+        let xu = ((x.mantissa_bits() | (1u64 << 52)) << 3) & xm;
+        let yu = ((y.mantissa_bits() | (1u64 << 52)) << 3) & ym;
         let ex = exf - 1078;
         let ey = eyf - 1078;
 
         // Align y to x's exponent. Beyond 59 positions y cannot influence
         // the rounded result (x's guard bits fully decide it), so it is
-        // dropped entirely, as in the reference implementation.
-        let cc = ex - ey;
-        debug_assert!(cc >= 0);
-        if cc > 59 {
-            yu = 0;
-        } else if cc > 0 {
-            let mask = (1u64 << cc) - 1;
-            let sticky = u64::from(yu & mask != 0);
-            yu = (yu >> cc) | sticky;
-        }
+        // dropped entirely, as in the reference implementation; the
+        // drop is a mask and the shift count is clamped so the in-range
+        // lane is computed unconditionally.
+        let cc = (ex - ey) as u32;
+        debug_assert!(ex >= ey);
+        let keep = ((cc <= 59) as u64).wrapping_neg();
+        let sh = cc & 63;
+        let smask = (1u64 << sh) - 1;
+        let sticky = u64::from(yu & smask != 0);
+        let yu = ((yu >> sh) | sticky) & keep;
 
         // Same sign: magnitude addition; opposite signs: subtraction
-        // (non-negative because |x| >= |y|). The result sign is x's.
-        let zu = if sx == sy { xu + yu } else { xu - yu };
-
-        if zu == 0 {
-            return Fpr((sx as u64) << 63);
-        }
+        // (non-negative because |x| >= |y|), realised by conditionally
+        // negating the aligned addend. The result sign is x's.
+        let opp = ((sx ^ sy) as u64).wrapping_neg();
+        let zu = xu.wrapping_add((yu ^ opp).wrapping_sub(opp));
 
         // Renormalise to a 55-bit mantissa (top bit at position 54),
-        // folding right-shifted bits into the sticky position.
-        let top = 63 - zu.leading_zeros() as i32;
-        let (m, e) = if top > 54 {
-            let k = (top - 54) as u32;
-            let mask = (1u64 << k) - 1;
-            (((zu >> k) | u64::from(zu & mask != 0)), ex + top - 54)
-        } else {
-            (zu << (54 - top) as u32, ex + top - 54)
-        };
+        // folding right-shifted bits into the sticky position. The
+        // left/right shift pair is selected by masks; `zu | 1` keeps the
+        // shift amounts in range for the fully-cancelled case, whose
+        // mantissa is then masked to zero so the packer emits x's signed
+        // zero.
+        let nz = ((zu != 0) as u64).wrapping_neg();
+        let top = 63 - (zu | 1).leading_zeros() as i32;
+        let d = top - 54;
+        let kr = (d & !(d >> 31)) as u32;
+        let kl = ((-d) & !((-d) >> 31)) as u32;
+        let rmask = (1u64 << kr) - 1;
+        let rsticky = u64::from(zu & rmask != 0);
+        let m = (((zu >> kr) | rsticky) << kl) & nz;
 
-        Fpr::build(sx, e, m)
+        Fpr::build(sx, ex + d, m)
+        // ct: end
     }
 
     /// Emulated subtraction: `self - rhs`.

@@ -1,6 +1,26 @@
 //! Conversions between `Fpr`, integers and host `f64`.
+//!
+//! Every conversion on the signing path handles secret-derived values
+//! (lattice coordinates, sampler centers), so the routines here are
+//! branch-free: special cases (zero inputs, out-of-window shifts) are
+//! folded in with mask selects, and shift counts are clamped instead of
+//! guarded.
 
+use crate::ctcheck::{site, sites};
 use crate::repr::Fpr;
+
+/// All-ones when `c` is true — the mask idiom used for branch-free
+/// selects throughout the emulation.
+#[inline]
+fn mask64(c: bool) -> u64 {
+    (c as u64).wrapping_neg()
+}
+
+/// `max(v, 0)` without a branch (arithmetic-shift mask).
+#[inline]
+fn clamp_neg(v: i32) -> u32 {
+    (v & !(v >> 31)) as u32
+}
 
 impl Fpr {
     /// Converts a signed 64-bit integer exactly (rounding to nearest-even
@@ -20,21 +40,24 @@ impl Fpr {
     /// This is the reference implementation's `fpr_scaled`, used when
     /// loading fixed-point lattice values.
     pub fn scaled(i: i64, sc: i32) -> Fpr {
-        if i == 0 {
-            return Fpr::ZERO;
-        }
+        site(sites::SCALED);
+        // ct: secret(i, sc)
         let s = u32::from(i < 0);
         let a = i.unsigned_abs();
-        let top = 63 - a.leading_zeros() as i32;
-        // Normalise the magnitude to a 55-bit mantissa (top bit at 54).
-        let (m, e) = if top <= 54 {
-            (a << (54 - top) as u32, sc + top - 54)
-        } else {
-            let k = (top - 54) as u32;
-            let mask = (1u64 << k) - 1;
-            ((a >> k) | u64::from(a & mask != 0), sc + top - 54)
-        };
-        Fpr::build(s, e, m)
+        // `a | 1` keeps the normalisation shift in range for a zero
+        // input, whose mantissa is then masked away so the packer emits
+        // +0 — the same select-over-lanes shape as addition's
+        // renormalisation.
+        let nz = mask64(a != 0);
+        let top = 63 - (a | 1).leading_zeros() as i32;
+        let d = top - 54;
+        let kr = clamp_neg(d);
+        let kl = clamp_neg(-d);
+        let rmask = (1u64 << kr) - 1;
+        let sticky = u64::from(a & rmask != 0);
+        let m = (((a >> kr) | sticky) << kl) & nz;
+        Fpr::build(s, sc + d, m)
+        // ct: end
     }
 
     /// Rounds to the nearest integer, ties to even.
@@ -42,103 +65,87 @@ impl Fpr {
     /// The value must fit in `i64`; FALCON only rounds small lattice
     /// coordinates.
     pub fn rint(self) -> i64 {
-        if self.is_zero() {
-            return 0;
-        }
+        site(sites::RINT);
+        // ct: secret(self)
         let (s, exf, m) = self.unpack();
+        // Mask (rather than branch) away the implicit bit of a zero.
+        let m = m & mask64(exf != 0);
         let e = exf - 1075; // value = m * 2^e
-        let mag = if e >= 0 {
-            debug_assert!(e <= 10, "fpr_rint overflow");
-            (m << e) as i64
-        } else {
-            let k = -e as u32;
-            if k >= 54 {
-                0
-            } else {
-                let low = m & ((1u64 << k) - 1);
-                let half = 1u64 << (k - 1);
-                let mut r = m >> k;
-                if low > half || (low == half && r & 1 == 1) {
-                    r += 1;
-                }
-                r as i64
-            }
-        };
-        if s != 0 {
-            -mag
-        } else {
-            mag
-        }
+        debug_assert!(exf == 0 || e <= 10, "fpr_rint overflow");
+        // Integer lane (e >= 0): exact left shift.
+        let left = m << (clamp_neg(e) & 63);
+        // Fractional lane (e < 0): shift out k bits with round-to-
+        // nearest-even; k >= 54 naturally rounds to 0 or 1. The clamp
+        // keeps `k - 1` legal on the unselected lane.
+        let k = (-e).clamp(1, 63) as u32;
+        let low = m & ((1u64 << k) - 1);
+        let half = 1u64 << (k - 1);
+        let q = m >> k;
+        let round = ((low > half) | ((low == half) & (q & 1 == 1))) as u64;
+        let right = q + round;
+        // Select the lane by the exponent sign, then apply the sign.
+        let frac = mask64(e < 0);
+        let mag = (left & !frac) | (right & frac);
+        let sgn = -(s as i64);
+        ((mag as i64) ^ sgn) - sgn
+        // ct: end
     }
 
     /// Rounds toward negative infinity.
     pub fn floor(self) -> i64 {
-        if self.is_zero() {
-            return 0;
-        }
+        site(sites::FLOOR);
+        // ct: secret(self)
         let (s, exf, m) = self.unpack();
+        let m = m & mask64(exf != 0);
         let e = exf - 1075;
-        if e >= 0 {
-            debug_assert!(e <= 10, "fpr_floor overflow");
-            let v = (m << e) as i64;
-            return if s != 0 { -v } else { v };
-        }
-        let k = -e as u32;
-        let (q, rem) = if k >= 54 { (0, true) } else { (m >> k, m & ((1u64 << k) - 1) != 0) };
-        if s != 0 {
-            -(q as i64) - i64::from(rem)
-        } else {
-            q as i64
-        }
+        debug_assert!(exf == 0 || e <= 10, "fpr_floor overflow");
+        let left = m << (clamp_neg(e) & 63);
+        let k = (-e).clamp(1, 63) as u32;
+        let q = m >> k;
+        let rem = u64::from(m & ((1u64 << k) - 1) != 0);
+        let frac = mask64(e < 0);
+        let mag = (left & !frac) | (q & frac);
+        // Negative values with a discarded remainder round one further
+        // down; positives (and exact values) truncate.
+        let sgn = -(s as i64);
+        (((mag as i64) ^ sgn) - sgn) - ((rem & frac & s as u64) as i64)
+        // ct: end
     }
 
     /// Rounds toward zero.
     pub fn trunc(self) -> i64 {
-        if self.is_zero() {
-            return 0;
-        }
+        site(sites::TRUNC);
+        // ct: secret(self)
         let (s, exf, m) = self.unpack();
+        let m = m & mask64(exf != 0);
         let e = exf - 1075;
-        let mag = if e >= 0 {
-            debug_assert!(e <= 10, "fpr_trunc overflow");
-            (m << e) as i64
-        } else {
-            let k = -e as u32;
-            if k >= 54 {
-                0
-            } else {
-                (m >> k) as i64
-            }
-        };
-        if s != 0 {
-            -mag
-        } else {
-            mag
-        }
+        debug_assert!(exf == 0 || e <= 10, "fpr_trunc overflow");
+        let left = m << (clamp_neg(e) & 63);
+        let k = (-e).clamp(1, 63) as u32;
+        let frac = mask64(e < 0);
+        let mag = (left & !frac) | ((m >> k) & frac);
+        let sgn = -(s as i64);
+        ((mag as i64) ^ sgn) - sgn
+        // ct: end
     }
 
     /// Truncating conversion to unsigned 2^63 fixed point: `⌊self · 2^63⌋`
-    /// for `self` in `[0, 1)`.
+    /// for `self` in `[0, 1]` (the endpoint maps to 2^63 exactly).
     ///
     /// Used by the exponential approximation in the Gaussian sampler.
     pub(crate) fn to_fixed63(self) -> u64 {
-        if self.is_zero() {
-            return 0;
-        }
-        debug_assert_eq!(self.sign_bit(), 0);
+        site(sites::TO_FIXED63);
+        // ct: secret(self)
+        debug_assert!(self.is_zero() || self.sign_bit() == 0);
         let (_, exf, m) = self.unpack();
+        let m = m & mask64(exf != 0);
         let e = exf - 1075 + 63; // self * 2^63 = m * 2^e
-        debug_assert!(e <= 10, "to_fixed63 operand not below 1");
-        if e >= 0 {
-            m << e
-        } else {
-            let k = -e as u32;
-            if k >= 54 {
-                0
-            } else {
-                m >> k
-            }
-        }
+        debug_assert!(exf == 0 || e <= 11, "to_fixed63 operand above 1");
+        let left = m << (clamp_neg(e) & 63);
+        let k = (-e).clamp(0, 63) as u32;
+        let frac = mask64(e < 0);
+        (left & !frac) | ((m >> k) & frac)
+        // ct: end
     }
 
     /// Reinterprets a host `f64`.
@@ -149,13 +156,12 @@ impl Fpr {
     /// the emulated domain). Subnormals flush to (signed) zero.
     pub fn from_f64(v: f64) -> Fpr {
         debug_assert!(v.is_finite(), "fpr cannot represent {v}");
+        // ct: secret(v)
         let bits = v.to_bits();
-        if (bits >> 52) & 0x7FF == 0 {
-            // Flush subnormals, keep the sign.
-            Fpr(bits & (1u64 << 63))
-        } else {
-            Fpr(bits)
-        }
+        // Flush subnormals (zero exponent field), keeping the sign.
+        let live = mask64((bits >> 52) & 0x7FF != 0);
+        Fpr(bits & (live | (1u64 << 63)))
+        // ct: end
     }
 
     /// Converts to a host `f64` (always exact: the bit layouts coincide).

@@ -13,26 +13,41 @@ impl Fpr {
     /// unspecified, matching the reference implementation's contract.
     pub fn div(self, rhs: Fpr) -> Fpr {
         debug_assert!(!rhs.is_zero(), "fpr division by zero");
+        crate::ctcheck::site(crate::ctcheck::sites::DIV);
+        // ct: secret(self, rhs)
         let (sx, ex, xu) = self.unpack();
         let (sy, ey, yu) = rhs.unpack();
         let s = sx ^ sy;
-        if ex == 0 {
-            return Fpr((s as u64) << 63);
+
+        // q = floor(xu·2^55 / yu), the 56-bit quotient of the 53-bit
+        // mantissas, via restoring division: 56 iterations of compare,
+        // masked subtract and shift — the same fixed instruction
+        // sequence for every operand pair, unlike a hardware divide
+        // whose latency is data-dependent. xu < 2·yu keeps the partial
+        // remainder below 2^54 throughout.
+        let mut num = xu;
+        let mut q: u64 = 0;
+        for _ in 0..56 {
+            crate::ctcheck::site(crate::ctcheck::sites::DIV_LOOP);
+            let b = u64::from(num >= yu);
+            num -= yu & b.wrapping_neg();
+            q = (q << 1) | b;
+            num <<= 1;
         }
+        // A nonzero final remainder folds into the sticky bit.
+        let sticky = u64::from(num != 0);
 
-        // 56-bit quotient of the 53-bit mantissas, with the remainder
-        // folded into a sticky bit.
-        let num = (xu as u128) << 55;
-        let den = yu as u128;
-        let q = (num / den) as u64;
-        let sticky = u64::from(!num.is_multiple_of(den));
+        // q is in [2^54, 2^56); fold the possible top bit down with its
+        // sticky, exactly as in multiplication's renormalisation.
+        let hi = q >> 55;
+        let m = (q >> hi) | (q & hi) | sticky;
+        let e = ex - ey - 55 + hi as i32;
 
-        let (m, e) = if q >> 55 != 0 {
-            (((q >> 1) | (q & 1)) | sticky, ex - ey - 54)
-        } else {
-            (q | sticky, ex - ey - 55)
-        };
-        Fpr::build(s, e, m)
+        // A zero dividend (exponent field 0) flushes at pack time; the
+        // division loop above still runs on its (masked-out) mantissa.
+        let live = ((ex != 0) as u64).wrapping_neg();
+        Fpr::build(s, e, m & live)
+        // ct: end
     }
 
     /// Reciprocal `1 / self`.

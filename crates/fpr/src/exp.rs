@@ -22,19 +22,22 @@ impl Fpr {
     /// 2^-57, which is far inside the sampler's statistical tolerance
     /// (documented substitution, see DESIGN.md §7).
     pub fn expm_p63(self, ccs: Fpr) -> u64 {
+        crate::ctcheck::site(crate::ctcheck::sites::EXPM);
+        // ct: secret(self, ccs)
         let x = self.to_fixed63();
         // Horner evaluation of sum_k (-x)^k / k! using unsigned fixed
         // point: y_k = 1/k-ish coefficients precomputed as 2^63 / k!.
         let mut y: u64 = coeff(TERMS - 1);
         for k in (0..TERMS - 1).rev() {
+            crate::ctcheck::site(crate::ctcheck::sites::EXPM_LOOP);
             y = coeff(k).wrapping_sub(mul63(x, y));
         }
-        if Fpr::ONE.le(ccs) {
-            // ccs == 1: the scale factor is exactly 2^63 / 2^63.
-            y
-        } else {
-            mul63(y, ccs.to_fixed63())
-        }
+        // ccs ≤ 1 converts to a fixed-point scale in [0, 2^63]; the
+        // endpoint ccs = 1 maps to exactly 2^63, for which mul63 is the
+        // identity, so no special case (and no secret-dependent branch)
+        // is needed.
+        mul63(y, ccs.to_fixed63())
+        // ct: end
     }
 }
 

@@ -30,8 +30,11 @@
 //! assert_eq!((x * y).to_f64(), 1.5);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod add;
 mod consts;
+pub mod ctcheck;
 mod cvt;
 mod div;
 mod exp;

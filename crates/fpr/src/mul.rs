@@ -31,8 +31,10 @@ impl Fpr {
     /// the zero is applied at pack time — so the leakage of the observed
     /// device does not short-circuit on special values.
     pub fn mul_observed<O: MulObserver>(self, rhs: Fpr, obs: &mut O) -> Fpr {
+        crate::ctcheck::site(crate::ctcheck::sites::MUL);
         obs.record(MulStep::OperandLoad { x: self.0, y: rhs.0 });
 
+        // ct: secret(self, rhs)
         let (sx, ex, xu) = self.unpack();
         let (sy, ey, yu) = rhs.unpack();
 
@@ -77,9 +79,11 @@ impl Fpr {
         obs.record(MulStep::StickyFold { value: zu });
 
         // zu is in [2^54, 2^56); renormalise to [2^54, 2^55), keeping a
-        // sticky bit, and remember the carry for the exponent.
-        let carry = (zu >> 55) as u32;
-        let m = if carry != 0 { (zu >> 1) | (zu & 1) } else { zu };
+        // sticky bit, and remember the carry for the exponent. `carry`
+        // is 0 or 1, so the conditional shift-with-sticky reduces to a
+        // branch-free variable shift.
+        let carry = zu >> 55;
+        let m = (zu >> carry) | (zu & carry);
         obs.record(MulStep::Normalize { mantissa: m });
 
         // Exponent addition (biased fields, constant re-bias, plus the
@@ -91,9 +95,12 @@ impl Fpr {
         let s = sx ^ sy;
         obs.record(MulStep::SignXor { value: s });
 
-        // A zero operand (exponent field 0) forces a signed-zero result.
-        let m = if ex == 0 || ey == 0 { 0 } else { m };
-        let r = Fpr::build(s, e, m);
+        // A zero operand (exponent field 0) forces a signed-zero result,
+        // applied as a mantissa mask at pack time so the full pipeline
+        // runs identically for every operand.
+        let live = (((ex != 0) & (ey != 0)) as u64).wrapping_neg();
+        let r = Fpr::build(s, e, m & live);
+        // ct: end
         obs.record(MulStep::Pack { result: r.to_bits() });
         r
     }

@@ -90,21 +90,26 @@ impl Fpr {
     /// Doubles the value (exponent increment; zero stays zero).
     #[inline]
     pub fn double(self) -> Fpr {
-        if self.is_zero() {
-            self
-        } else {
-            Fpr(self.0 + (1u64 << 52))
-        }
+        crate::ctcheck::site(crate::ctcheck::sites::DOUBLE);
+        // ct: secret(self)
+        // Exponent increment, masked to a no-op for (signed) zero so the
+        // special case costs no branch.
+        let nz = (!self.is_zero() as u64).wrapping_neg();
+        Fpr(self.0.wrapping_add((1u64 << 52) & nz))
+        // ct: end
     }
 
     /// Halves the value (exponent decrement, flushing to zero on underflow).
     #[inline]
     pub fn half(self) -> Fpr {
-        if self.is_zero() || self.exponent_bits() == 0 {
-            Fpr(self.0 & (1u64 << 63))
-        } else {
-            Fpr(self.0 - (1u64 << 52))
-        }
+        crate::ctcheck::site(crate::ctcheck::sites::HALF);
+        // ct: secret(self)
+        // A zero exponent field (i.e. zero — subnormals are flushed)
+        // keeps only the sign bit; otherwise the exponent is decremented.
+        let nz = ((self.exponent_bits() != 0) as u64).wrapping_neg();
+        let dec = self.0.wrapping_sub(1u64 << 52) & nz;
+        Fpr(dec | (self.0 & (1u64 << 63) & !nz))
+        // ct: end
     }
 
     /// Strictly-less-than comparison on the represented real values.
@@ -128,10 +133,16 @@ impl Fpr {
     /// is unspecified, matching the reference implementation.
     pub(crate) fn build(s: u32, e: i32, m: u64) -> Fpr {
         debug_assert!(m == 0 || (m >> 54) == 1, "mantissa out of range: {m:#x}");
+        crate::ctcheck::site(crate::ctcheck::sites::BUILD);
+        // ct: secret(s, e, m)
         let e = e + 1076;
-        if m == 0 || e < 0 {
-            return Fpr((s as u64) << 63);
-        }
+        // All-ones when the result is a normal number; a zero mantissa or
+        // an underflowed exponent flushes to signed zero through the mask
+        // instead of an early return.
+        let live = (((m != 0) & (e >= 0)) as u64).wrapping_neg();
+        // Clamp the exponent to zero on the flushed lane so the shift
+        // below stays in range (the lane is masked out anyway).
+        let ec = (e & !(e >> 31)) as u64;
         // Round-to-nearest-even on the two dropped bits: round up when the
         // dropped bits are 0b11, or 0b10 with an odd kept mantissa.
         let f = (m & 3) as u32;
@@ -140,8 +151,9 @@ impl Fpr {
         // Adding the exponent field lets a rounding carry out of the
         // mantissa propagate into the exponent, which is exactly the
         // correct renormalisation (mantissa 2^53 -> 2^52, exponent + 1).
-        let x = (((s as u64) << 63) | kept).wrapping_add((e as u64) << 52);
-        Fpr(x + round_up)
+        let x = (((s as u64) << 63) | kept).wrapping_add(ec << 52).wrapping_add(round_up);
+        Fpr((x & live) | (((s as u64) << 63) & !live))
+        // ct: end
     }
 
     /// Decomposes into (sign, biased exponent field, 53-bit mantissa with

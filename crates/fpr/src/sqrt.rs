@@ -2,27 +2,6 @@
 
 use crate::repr::Fpr;
 
-/// Integer square root of a `u128`, rounded down.
-fn isqrt_u128(n: u128) -> u128 {
-    if n == 0 {
-        return 0;
-    }
-    // Bit-by-bit restoring square root: exact and branch-simple.
-    let mut r: u128 = 0;
-    let mut bit: u128 = 1 << ((127 - n.leading_zeros() as i32) & !1);
-    let mut x = n;
-    while bit != 0 {
-        if x >= r + bit {
-            x -= r + bit;
-            r = (r >> 1) + bit;
-        } else {
-            r >>= 1;
-        }
-        bit >>= 2;
-    }
-    r
-}
-
 impl Fpr {
     /// Emulated square root with round-to-nearest-even.
     ///
@@ -31,23 +10,44 @@ impl Fpr {
     /// negative operand panics.
     pub fn sqrt(self) -> Fpr {
         debug_assert_eq!(self.sign_bit(), 0, "fpr sqrt of negative value");
-        if self.is_zero() {
-            return Fpr::ZERO;
-        }
+        crate::ctcheck::site(crate::ctcheck::sites::SQRT);
+        // ct: secret(self)
         let (_, exf, m) = self.unpack();
-        let mut e = exf - 1075; // value = m * 2^e, 2^52 <= m < 2^53
-        let mut m = m;
-        if e & 1 != 0 {
-            m <<= 1;
-            e -= 1;
-        }
-        // sqrt(m * 2^e) = isqrt(m << 56) * 2^(e/2 - 28); the shift makes
-        // the root land in [2^54, 2^55), the 55-bit window expected by
-        // the packer, with inexactness recorded as a sticky bit.
+        let e = exf - 1075; // value = m * 2^e, 2^52 <= m < 2^53
+                            // Make the exponent even with a 0/1 shift (no branch).
+        let odd = (e & 1) as u32;
+        let m = m << odd;
+        let e = e - odd as i32;
+
+        // sqrt(m * 2^e) = isqrt(m << 56) * 2^(e/2 - 28). With
+        // 2^52 <= m < 2^54 the widened radicand lies in [2^108, 2^110),
+        // so a restoring square root starting at the fixed bit 2^108
+        // covers the whole domain in exactly 55 iterations, each one a
+        // compare and two masked updates — no data-dependent control
+        // flow, unlike a leading-zeros-seeded loop. The root lands in
+        // [2^54, 2^55), the packer's window, with inexactness recorded
+        // as a sticky bit.
         let wide = (m as u128) << 56;
-        let r = isqrt_u128(wide);
-        let sticky = u64::from(r * r != wide);
-        Fpr::build(0, e / 2 - 28, (r as u64) | sticky)
+        let mut x = wide;
+        let mut r: u128 = 0;
+        let mut bit: u128 = 1 << 108;
+        while bit != 0 {
+            crate::ctcheck::site(crate::ctcheck::sites::SQRT_LOOP);
+            let t = r + bit;
+            let take = ((x >= t) as u128).wrapping_neg();
+            x -= t & take;
+            r = (r >> 1) + (bit & take);
+            bit >>= 2;
+        }
+        let root = r as u64;
+        let sticky = u64::from(x != 0);
+
+        // A zero operand (exponent field 0) flushes at pack time; the
+        // root loop above still runs on its (masked-out) mantissa. The
+        // halved exponent uses an arithmetic shift: e is even here.
+        let live = ((exf != 0) as u64).wrapping_neg();
+        Fpr::build(0, (e >> 1) - 28, (root | sticky) & live)
+        // ct: end
     }
 }
 
@@ -56,11 +56,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn isqrt_exact_squares() {
-        for v in [0u128, 1, 2, 3, 4, 5, 15, 16, 17, 1 << 60, (1 << 60) + 1] {
-            let r = isqrt_u128(v);
-            assert!(r * r <= v, "v={v}");
-            assert!((r + 1) * (r + 1) > v, "v={v}");
+    fn sqrt_exact_squares() {
+        for v in [0i64, 1, 4, 9, 16, 25, 1 << 20, 12289 * 12289] {
+            let r = Fpr::from_i64(v).sqrt();
+            assert_eq!(r.to_f64(), (v as f64).sqrt(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_rounds_like_host() {
+        for v in [2.0f64, 3.0, 0.5, 1e-12, 7.25e9, 1.0000000000000002] {
+            assert_eq!(Fpr::from(v).sqrt().to_f64().to_bits(), v.sqrt().to_bits(), "v={v}");
         }
     }
 }

@@ -56,6 +56,8 @@
 //! assert!(obs::metrics().snapshot().counters["demo.widgets"] >= 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod registry;
 pub mod sink;

@@ -1,7 +1,7 @@
 //! Falcon Down — reproduction of the DAC 2021 side-channel attack on the
 //! FALCON post-quantum signature scheme (Karabulut & Aysu).
 //!
-//! This umbrella crate re-exports the four building blocks:
+//! This umbrella crate re-exports the building blocks:
 //!
 //! * [`fpr`] — FALCON's emulated IEEE-754 arithmetic with observable
 //!   multiplication micro-ops;
@@ -10,11 +10,17 @@
 //! * [`emsim`] — the electromagnetic measurement simulator standing in
 //!   for the paper's ARM-Cortex-M4 + EM probe test bench;
 //! * [`dema`] — the differential electromagnetic attack with the
-//!   extend-and-prune strategy, key recovery and signature forgery.
+//!   extend-and-prune strategy, key recovery and signature forgery;
+//! * [`ct`] — constant-time verification of the signing path: the
+//!   secret-taint source lint and the dynamic fixed-vs-random trace
+//!   checker guarding the hardened arithmetic.
 //!
 //! See `README.md` for a walkthrough and `EXPERIMENTS.md` for the
 //! paper-vs-measured reproduction results.
 
+#![forbid(unsafe_code)]
+
+pub use falcon_ct as ct;
 pub use falcon_dema as dema;
 pub use falcon_emsim as emsim;
 pub use falcon_fpr as fpr;
