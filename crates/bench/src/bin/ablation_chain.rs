@@ -60,15 +60,15 @@ fn main() {
         let mut msgs = Prng::from_seed(b"ablation chain msgs");
         let ds = Dataset::collect(&mut dev, &[coeff], traces, &mut msgs);
         let knowns: Vec<KnownOperand> =
-            ds.known_column(coeff, 0).into_iter().map(KnownOperand::new).collect();
+            ds.known_column(coeff, 0).iter().map(|&kb| KnownOperand::new(kb)).collect();
 
         let sign_hyp: Vec<f64> = knowns.iter().map(|k| hyp_sign(sign, k)).collect();
         let sign_samples = ds.sample_column(coeff, 0, StepKind::SignXor);
-        let sign_disc = traces_to_disclosure(&pearson_evolution(&sign_hyp, &sign_samples));
+        let sign_disc = traces_to_disclosure(&pearson_evolution(&sign_hyp, sign_samples));
 
         let add_hyp: Vec<f64> = knowns.iter().map(|k| hyp_add_lo(d_lo, k)).collect();
         let add_samples = ds.sample_column(coeff, 0, StepKind::AddLoHi);
-        let add_evo = pearson_evolution(&add_hyp, &add_samples);
+        let add_evo = pearson_evolution(&add_hyp, add_samples);
         let add_disc = traces_to_disclosure(&add_evo);
 
         rows.push(vec![

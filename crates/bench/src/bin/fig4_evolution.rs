@@ -40,7 +40,7 @@ fn main() {
     let true_exp = ((bits >> 52) & 0x7FF) as u32;
 
     let knowns: Vec<KnownOperand> =
-        ds.known_column(coeff, 0).into_iter().map(KnownOperand::new).collect();
+        ds.known_column(coeff, 0).iter().map(|&kb| KnownOperand::new(kb)).collect();
 
     // (component name, per-trace hypothesis for the *correct* guess, the
     // step to observe) — first-occurrence columns give a clean
@@ -67,7 +67,7 @@ fn main() {
     let mut summary = Vec::new();
     for (name, hyps, step) in &panels {
         let samples = ds.sample_column(coeff, 0, *step);
-        let evo = pearson_evolution(hyps, &samples);
+        let evo = pearson_evolution(hyps, samples);
         let disc = traces_to_disclosure(&evo);
         summary.push(vec![
             name.to_string(),
@@ -109,10 +109,10 @@ fn main() {
     // negative branch).
     let wrong: Vec<f64> = knowns.iter().map(|k| hyp_sign(1 - true_sign, k)).collect();
     let samples = ds.sample_column(coeff, 0, StepKind::SignXor);
-    let evo_wrong = pearson_evolution(&wrong, &samples);
+    let evo_wrong = pearson_evolution(&wrong, samples);
     println!(
         "\nsign panel contrast: correct-guess corr {:+.4}, wrong-guess corr {:+.4} (mirror image)",
-        pearson_evolution(&panels[0].1, &samples).last().unwrap(),
+        pearson_evolution(&panels[0].1, samples).last().unwrap(),
         evo_wrong.last().unwrap()
     );
 }

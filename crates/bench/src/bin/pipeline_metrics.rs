@@ -206,6 +206,7 @@ fn main() {
 
     let doc = Json::obj()
         .field("bench", "pipeline_metrics")
+        .field("executor_threads", falcon_dema::exec::threads())
         .field("noise_sigma", noise)
         .field("max_traces", max_traces)
         .field("batch_size", batch)

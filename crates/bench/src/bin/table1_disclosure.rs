@@ -48,7 +48,7 @@ fn main() {
             let sgn = (bits >> 63) as u32;
             let exp = ((bits >> 52) & 0x7FF) as u32;
             let knowns: Vec<KnownOperand> =
-                ds.known_column(t, 0).into_iter().map(KnownOperand::new).collect();
+                ds.known_column(t, 0).iter().map(|&kb| KnownOperand::new(kb)).collect();
             let cases: [(usize, Vec<f64>, StepKind); 4] = [
                 (0, knowns.iter().map(|k| hyp_sign(sgn, k)).collect(), StepKind::SignXor),
                 (
@@ -65,7 +65,7 @@ fn main() {
             ];
             for (idx, hyps, step) in cases {
                 let samples = ds.sample_column(t, 0, step);
-                let evo = pearson_evolution(&hyps, &samples);
+                let evo = pearson_evolution(&hyps, samples);
                 per_component[idx].push(traces_to_disclosure(&evo));
             }
         }

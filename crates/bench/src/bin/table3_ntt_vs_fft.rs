@@ -60,7 +60,7 @@ fn main() {
         let sgn = (bits >> 63) as u32;
         let exp = ((bits >> 52) & 0x7FF) as u32;
         let knowns: Vec<KnownOperand> =
-            ds.known_column(t, 0).into_iter().map(KnownOperand::new).collect();
+            ds.known_column(t, 0).iter().map(|&kb| KnownOperand::new(kb)).collect();
         let components: [(Vec<f64>, StepKind); 4] = [
             (knowns.iter().map(|k| hyp_sign(sgn, k)).collect(), StepKind::SignXor),
             (
@@ -77,7 +77,7 @@ fn main() {
         let mut worst: Option<usize> = Some(0);
         for (hyps, step) in &components {
             let samples = ds.sample_column(t, 0, *step);
-            let disc = traces_to_disclosure(&pearson_evolution(hyps, &samples));
+            let disc = traces_to_disclosure(&pearson_evolution(hyps, samples));
             worst = match (worst, disc) {
                 (Some(w), Some(d)) => Some(w.max(d)),
                 _ => None,

@@ -57,14 +57,14 @@ fn main() {
         let true_sign = (truth[t] >> 63) as u32;
         // Non-profiled: correlation evolution.
         let knowns: Vec<KnownOperand> =
-            ds.known_column(t, 0).into_iter().map(KnownOperand::new).collect();
+            ds.known_column(t, 0).iter().map(|&kb| KnownOperand::new(kb)).collect();
         let hyps: Vec<f64> = knowns.iter().map(|k| hyp_sign(true_sign, k)).collect();
         let samples = ds.sample_column(t, 0, StepKind::SignXor);
-        let cpa = traces_to_disclosure(&pearson_evolution(&hyps, &samples));
+        let cpa = traces_to_disclosure(&pearson_evolution(&hyps, samples));
         // Like-for-like criterion: smallest prefix from which the
         // distinguisher's top guess is (and stays) correct. For CPA the
         // correct sign is the positive-correlation guess.
-        let evo = pearson_evolution(&hyps, &samples);
+        let evo = pearson_evolution(&hyps, samples);
         let mut cpa_stable: Option<usize> = None;
         for (i, &r) in evo.iter().enumerate() {
             if r > 0.0 {

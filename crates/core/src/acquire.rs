@@ -6,9 +6,23 @@
 //! to the device's. A [`Dataset`] keeps, per trace and per targeted
 //! secret index, the two known operands and the 2×14 samples of the two
 //! multiplications involving that secret value.
+//!
+//! # Columnar layout (v2)
+//!
+//! The distinguisher consumes *columns*: one `(target, occurrence,
+//! step)` series across all traces per Pearson accumulation. Storage is
+//! therefore struct-of-arrays, keyed `[target][occ][step][trace]` for
+//! samples and `[target][occ][trace]` for known operands, so
+//! [`Dataset::sample_column`] and [`Dataset::known_column`] return
+//! **borrowed slices** straight into the dataset buffer — zero
+//! allocation, zero copy, dense sequential memory under the
+//! [`PearsonSums::push_column`](crate::cpa::PearsonSums::push_column)
+//! tile kernel. Acquisition produces traces row-by-row; the transpose
+//! happens exactly once, at dataset construction.
 
 use crate::error::{Error, Result};
-use falcon_emsim::{Device, StepKind};
+use crate::exec;
+use falcon_emsim::{Capture, Device, StepKind};
 use falcon_fpr::Fpr;
 use falcon_sig::fft::fft;
 use falcon_sig::hash::hash_to_point;
@@ -18,22 +32,87 @@ use falcon_sig::rng::Prng;
 /// [`StepKind::COUNT`] micro-ops each.
 pub const POINTS_PER_TARGET: usize = 2 * StepKind::COUNT;
 
+/// Captures processed per acquisition chunk: the capture loop is serial
+/// (the device is one mutable stream), but the attacker-side `FFT(c)`
+/// recomputation of each chunk fans out on the executor while memory
+/// stays bounded by the chunk, not the campaign.
+const ACQUIRE_CHUNK: usize = 512;
+
 /// An attacker-side dataset for a set of targeted secret indices.
 #[derive(Debug, Clone)]
 pub struct Dataset {
     n: usize,
     targets: Vec<usize>,
     traces: usize,
-    /// `[trace][target][occurrence]` known operand bits.
+    /// Columnar known operands: `[target][occ][trace]`.
     knowns: Vec<u64>,
-    /// `[trace][target][occurrence·14 + step]` samples.
+    /// Columnar samples: `[target][occ][step][trace]`.
     points: Vec<f32>,
+}
+
+/// Recomputes the attacker-side known operands and extracts the target
+/// windows of one capture (row-major: `[target][occ]` operands,
+/// `[target][occ·14+step]` samples). Pure — safe to fan out per trace.
+pub(crate) fn recompute_trace(
+    cap: &Capture,
+    n: usize,
+    targets: &[usize],
+    layout: &falcon_emsim::MulOpLayout,
+    shift: isize,
+) -> (Vec<u64>, Vec<f32>) {
+    let c = hash_to_point(&cap.salt, &cap.msg, n);
+    let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
+    fft(&mut c_fft);
+    let samples = &cap.trace.samples;
+    let len = samples.len() as isize;
+    let mut knowns = Vec::with_capacity(targets.len() * 2);
+    let mut points = Vec::with_capacity(targets.len() * POINTS_PER_TARGET);
+    for &target in targets {
+        for (mul_idx, known_idx) in layout.muls_for_secret(target) {
+            knowns.push(c_fft[known_idx].to_bits());
+            for step in StepKind::ALL {
+                let src = layout.sample_index(mul_idx, step) as isize + shift;
+                // A realignment shift may walk a window off the capture
+                // edge; those samples are zero-filled like the full-trace
+                // realigner did.
+                points.push(if (0..len).contains(&src) { samples[src as usize] } else { 0.0 });
+            }
+        }
+    }
+    (knowns, points)
+}
+
+/// Row-major → columnar scatter of one acquisition batch: `rows` holds
+/// per-trace `(knowns, points)` in trace order.
+pub(crate) fn scatter_rows(
+    n: usize,
+    targets: &[usize],
+    rows: &[(Vec<u64>, Vec<f32>)],
+) -> Result<Dataset> {
+    let traces = rows.len();
+    let n_cols = targets.len() * 2;
+    let mut knowns = vec![0u64; traces * n_cols];
+    let mut points = vec![0f32; traces * n_cols * StepKind::COUNT];
+    for (trace, (row_k, row_p)) in rows.iter().enumerate() {
+        for (c, &k) in row_k.iter().enumerate() {
+            knowns[c * traces + trace] = k;
+        }
+        for (c, &p) in row_p.iter().enumerate() {
+            points[c * traces + trace] = p;
+        }
+    }
+    Dataset::try_from_columnar_parts(n, targets.to_vec(), traces, knowns, points)
 }
 
 impl Dataset {
     /// Runs an acquisition campaign: `n_traces` signatures over random
     /// messages drawn from `msg_rng`, keeping the windows for `targets`
     /// (flat `FFT(f)` indices, `0..n`).
+    ///
+    /// Capture is serial (the device is a single stream); the per-trace
+    /// attacker-side recomputation (`hash_to_point` + `fft`) fans out on
+    /// the [`crate::exec`] executor in bounded chunks, with bit-identical
+    /// results at any thread count.
     ///
     /// # Errors
     ///
@@ -59,33 +138,28 @@ impl Dataset {
         crate::obs::counter("acquire.traces_requested").add(n_traces as u64);
         let layout = device.layout();
         let expected_len = layout.samples_per_trace();
-        let mut knowns = Vec::with_capacity(n_traces * targets.len() * 2);
-        let mut points = Vec::with_capacity(n_traces * targets.len() * POINTS_PER_TARGET);
-        for i in 0..n_traces {
-            let mut msg = [0u8; 24];
-            msg_rng.fill(&mut msg);
-            let cap = device.capture(&msg);
-            if cap.trace.len() < expected_len {
-                return Err(Error::Acquisition(format!(
-                    "trace {i} has {} samples, layout needs {expected_len} \
-                     (faulty capture? use collect_screened)",
-                    cap.trace.len()
-                )));
-            }
-            // Adversary-side recomputation of FFT(c).
-            let c = hash_to_point(&cap.salt, &cap.msg, n);
-            let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
-            fft(&mut c_fft);
-            for &target in targets {
-                for (mul_idx, known_idx) in layout.muls_for_secret(target) {
-                    knowns.push(c_fft[known_idx].to_bits());
-                    for step in StepKind::ALL {
-                        points.push(cap.trace.samples[layout.sample_index(mul_idx, step)]);
-                    }
+        let mut rows: Vec<(Vec<u64>, Vec<f32>)> = Vec::with_capacity(n_traces);
+        let mut chunk: Vec<Capture> = Vec::with_capacity(ACQUIRE_CHUNK.min(n_traces));
+        let mut captured = 0usize;
+        while captured < n_traces {
+            chunk.clear();
+            while captured < n_traces && chunk.len() < ACQUIRE_CHUNK {
+                let mut msg = [0u8; 24];
+                msg_rng.fill(&mut msg);
+                let cap = device.capture(&msg);
+                if cap.trace.len() < expected_len {
+                    return Err(Error::Acquisition(format!(
+                        "trace {captured} has {} samples, layout needs {expected_len} \
+                         (faulty capture? use collect_screened)",
+                        cap.trace.len()
+                    )));
                 }
+                chunk.push(cap);
+                captured += 1;
             }
+            rows.extend(exec::map(&chunk, |cap| recompute_trace(cap, n, targets, &layout, 0)));
         }
-        Ok(Dataset { n, targets: targets.to_vec(), traces: n_traces, knowns, points })
+        scatter_rows(n, targets, &rows)
     }
 
     /// Panicking convenience wrapper around [`Dataset::try_collect`].
@@ -107,7 +181,48 @@ impl Dataset {
         }
     }
 
-    /// Rebuilds a dataset from raw storage (used by [`crate::io`]).
+    fn check_shapes(
+        n: usize,
+        targets: &[usize],
+        traces: usize,
+        n_knowns: usize,
+        n_points: usize,
+    ) -> Result<()> {
+        if !n.is_power_of_two() || n < 2 {
+            return Err(Error::BadDegree { n });
+        }
+        let want_knowns = traces
+            .checked_mul(targets.len())
+            .and_then(|v| v.checked_mul(2))
+            .ok_or_else(|| Error::invalid("known-operand count overflows"))?;
+        if n_knowns != want_knowns {
+            return Err(Error::ShapeMismatch {
+                what: "known operands",
+                expected: want_knowns,
+                got: n_knowns,
+            });
+        }
+        let want_points = traces
+            .checked_mul(targets.len())
+            .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
+            .ok_or_else(|| Error::invalid("sample count overflows"))?;
+        if n_points != want_points {
+            return Err(Error::ShapeMismatch {
+                what: "samples",
+                expected: want_points,
+                got: n_points,
+            });
+        }
+        if let Some(&t) = targets.iter().find(|&&t| t >= n) {
+            return Err(Error::TargetOutOfRange { target: t, n });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a dataset from **row-major** raw storage — `knowns` keyed
+    /// `[trace][target][occ]`, `points` keyed `[trace][target][occ·14 +
+    /// step]`, the v1 on-disk order. The data is transposed once into the
+    /// columnar layout.
     ///
     /// # Errors
     ///
@@ -120,39 +235,43 @@ impl Dataset {
         knowns: Vec<u64>,
         points: Vec<f32>,
     ) -> Result<Dataset> {
-        if !n.is_power_of_two() || n < 2 {
-            return Err(Error::BadDegree { n });
+        Self::check_shapes(n, &targets, traces, knowns.len(), points.len())?;
+        // Transpose row-major [trace][column] → columnar [column][trace].
+        let kc = targets.len() * 2;
+        let pc = targets.len() * POINTS_PER_TARGET;
+        let mut col_knowns = vec![0u64; knowns.len()];
+        let mut col_points = vec![0f32; points.len()];
+        for trace in 0..traces {
+            for c in 0..kc {
+                col_knowns[c * traces + trace] = knowns[trace * kc + c];
+            }
+            for c in 0..pc {
+                col_points[c * traces + trace] = points[trace * pc + c];
+            }
         }
-        let want_knowns = traces
-            .checked_mul(targets.len())
-            .and_then(|v| v.checked_mul(2))
-            .ok_or_else(|| Error::invalid("known-operand count overflows"))?;
-        if knowns.len() != want_knowns {
-            return Err(Error::ShapeMismatch {
-                what: "known operands",
-                expected: want_knowns,
-                got: knowns.len(),
-            });
-        }
-        let want_points = traces
-            .checked_mul(targets.len())
-            .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
-            .ok_or_else(|| Error::invalid("sample count overflows"))?;
-        if points.len() != want_points {
-            return Err(Error::ShapeMismatch {
-                what: "samples",
-                expected: want_points,
-                got: points.len(),
-            });
-        }
-        if let Some(&t) = targets.iter().find(|&&t| t >= n) {
-            return Err(Error::TargetOutOfRange { target: t, n });
-        }
+        Ok(Dataset { n, targets, traces, knowns: col_knowns, points: col_points })
+    }
+
+    /// Rebuilds a dataset from **columnar** raw storage — the internal
+    /// `[target][occ][trace]` / `[target][occ][step][trace]` layout, as
+    /// serialised by the v2 on-disk format. No transpose.
+    ///
+    /// # Errors
+    ///
+    /// Same shape checks as [`Dataset::try_from_raw_parts`].
+    pub fn try_from_columnar_parts(
+        n: usize,
+        targets: Vec<usize>,
+        traces: usize,
+        knowns: Vec<u64>,
+        points: Vec<f32>,
+    ) -> Result<Dataset> {
+        Self::check_shapes(n, &targets, traces, knowns.len(), points.len())?;
         Ok(Dataset { n, targets, traces, knowns, points })
     }
 
     /// Panicking convenience wrapper around
-    /// [`Dataset::try_from_raw_parts`].
+    /// [`Dataset::try_from_raw_parts`] (row-major input).
     ///
     /// # Panics
     ///
@@ -202,42 +321,58 @@ impl Dataset {
 
     /// Known operand bits for `(trace, target, occurrence)`.
     pub fn known(&self, trace: usize, target: usize, occ: usize) -> u64 {
-        debug_assert!(occ < 2);
-        let ti = self.target_pos(target);
-        self.knowns[(trace * self.targets.len() + ti) * 2 + occ]
+        self.known_column(target, occ)[trace]
     }
 
     /// Measured sample for `(trace, target, occurrence, step)`.
     pub fn sample(&self, trace: usize, target: usize, occ: usize, step: StepKind) -> f32 {
-        let ti = self.target_pos(target);
-        self.points[(trace * self.targets.len() + ti) * POINTS_PER_TARGET
-            + occ * StepKind::COUNT
-            + step as usize]
+        self.sample_column(target, occ, step)[trace]
     }
 
     /// Column of samples across all traces for `(target, occurrence,
-    /// step)`.
-    pub fn sample_column(&self, target: usize, occ: usize, step: StepKind) -> Vec<f32> {
-        (0..self.traces).map(|d| self.sample(d, target, occ, step)).collect()
+    /// step)` — a borrowed slice straight into the columnar buffer.
+    pub fn sample_column(&self, target: usize, occ: usize, step: StepKind) -> &[f32] {
+        debug_assert!(occ < 2);
+        let ti = self.target_pos(target);
+        let base = ((ti * 2 + occ) * StepKind::COUNT + step as usize) * self.traces;
+        &self.points[base..base + self.traces]
     }
 
-    /// Known-operand column across traces for `(target, occurrence)`.
-    pub fn known_column(&self, target: usize, occ: usize) -> Vec<u64> {
-        (0..self.traces).map(|d| self.known(d, target, occ)).collect()
+    /// Known-operand column across traces for `(target, occurrence)` — a
+    /// borrowed slice straight into the columnar buffer.
+    pub fn known_column(&self, target: usize, occ: usize) -> &[u64] {
+        debug_assert!(occ < 2);
+        let ti = self.target_pos(target);
+        let base = (ti * 2 + occ) * self.traces;
+        &self.knowns[base..base + self.traces]
     }
 
     /// The 28-sample window (both occurrences, all steps) of one trace
     /// for a target — the per-coefficient "time axis" used by the
-    /// correlation-versus-time figures.
-    pub fn window(&self, trace: usize, target: usize) -> &[f32] {
+    /// correlation-versus-time figures. Gathered across columns (the
+    /// columnar layout stores trace-major windows non-contiguously).
+    pub fn window(&self, trace: usize, target: usize) -> Vec<f32> {
         let ti = self.target_pos(target);
-        let start = (trace * self.targets.len() + ti) * POINTS_PER_TARGET;
-        &self.points[start..start + POINTS_PER_TARGET]
+        let base = ti * 2 * StepKind::COUNT;
+        (0..POINTS_PER_TARGET).map(|c| self.points[(base + c) * self.traces + trace]).collect()
+    }
+
+    /// The columnar known-operand storage (`[target][occ][trace]`), for
+    /// the v2 serialiser.
+    pub(crate) fn knowns_columnar(&self) -> &[u64] {
+        &self.knowns
+    }
+
+    /// The columnar sample storage (`[target][occ][step][trace]`), for
+    /// the v2 serialiser.
+    pub(crate) fn points_columnar(&self) -> &[f32] {
+        &self.points
     }
 
     /// Appends the traces of `other` to this dataset. Both must share the
     /// ring degree and the exact target list (batch-wise accumulation in
-    /// adaptive campaigns).
+    /// adaptive campaigns). Columnar merge: each column is the
+    /// concatenation of the two source columns.
     ///
     /// # Errors
     ///
@@ -252,14 +387,41 @@ impl Dataset {
                 self.targets, other.targets
             )));
         }
-        self.knowns.extend_from_slice(&other.knowns);
-        self.points.extend_from_slice(&other.points);
-        self.traces += other.traces;
+        let traces = self.traces + other.traces;
+        let mut knowns = Vec::with_capacity(self.knowns.len() + other.knowns.len());
+        for (a, b) in self
+            .knowns
+            .chunks_exact(self.traces.max(1))
+            .zip(other.knowns.chunks_exact(other.traces.max(1)))
+        {
+            knowns.extend_from_slice(a);
+            knowns.extend_from_slice(b);
+        }
+        let mut points = Vec::with_capacity(self.points.len() + other.points.len());
+        for (a, b) in self
+            .points
+            .chunks_exact(self.traces.max(1))
+            .zip(other.points.chunks_exact(other.traces.max(1)))
+        {
+            points.extend_from_slice(a);
+            points.extend_from_slice(b);
+        }
+        // Zero-trace sides contribute empty columns; rebuild explicitly
+        // because chunks_exact(1) over an empty buffer yields nothing.
+        if self.traces == 0 {
+            self.knowns = other.knowns.clone();
+            self.points = other.points.clone();
+        } else if other.traces > 0 {
+            self.knowns = knowns;
+            self.points = points;
+        }
+        self.traces = traces;
         Ok(())
     }
 
     /// Extracts the sub-dataset covering only `subset` of the targets
-    /// (same traces, fewer columns).
+    /// (same traces, fewer columns). In the columnar layout each target's
+    /// block is contiguous, so this is a handful of bulk copies.
     ///
     /// # Errors
     ///
@@ -270,15 +432,13 @@ impl Dataset {
             .iter()
             .map(|&t| self.try_target_pos(t).ok_or(Error::TargetNotInDataset { target: t }))
             .collect::<Result<_>>()?;
-        let mut knowns = Vec::with_capacity(self.traces * subset.len() * 2);
-        let mut points = Vec::with_capacity(self.traces * subset.len() * POINTS_PER_TARGET);
-        for trace in 0..self.traces {
-            for &ti in &pos {
-                let kbase = (trace * self.targets.len() + ti) * 2;
-                knowns.extend_from_slice(&self.knowns[kbase..kbase + 2]);
-                let pbase = (trace * self.targets.len() + ti) * POINTS_PER_TARGET;
-                points.extend_from_slice(&self.points[pbase..pbase + POINTS_PER_TARGET]);
-            }
+        let kblock = 2 * self.traces;
+        let pblock = POINTS_PER_TARGET * self.traces;
+        let mut knowns = Vec::with_capacity(subset.len() * kblock);
+        let mut points = Vec::with_capacity(subset.len() * pblock);
+        for &ti in &pos {
+            knowns.extend_from_slice(&self.knowns[ti * kblock..(ti + 1) * kblock]);
+            points.extend_from_slice(&self.points[ti * pblock..(ti + 1) * pblock]);
         }
         Ok(Dataset { n: self.n, targets: subset.to_vec(), traces: self.traces, knowns, points })
     }
@@ -290,25 +450,37 @@ impl Dataset {
     ///
     /// Returns a typed error on a bad degree or out-of-range target.
     pub fn empty(n: usize, targets: &[usize]) -> Result<Dataset> {
-        Dataset::try_from_raw_parts(n, targets.to_vec(), 0, Vec::new(), Vec::new())
+        Dataset::try_from_columnar_parts(n, targets.to_vec(), 0, Vec::new(), Vec::new())
     }
 
-    /// Mutable access to the flat sample storage (screening's outlier
-    /// winsorisation rewrites columns in place).
+    /// Mutable access to the flat columnar sample storage — every
+    /// consecutive `traces()` values form one `(target, occ, step)`
+    /// column (screening's outlier winsorisation rewrites columns in
+    /// place).
     pub(crate) fn points_mut(&mut self) -> &mut [f32] {
         &mut self.points
     }
 
     /// Restricts the dataset to its first `n_traces` traces (cheap way to
-    /// study trace-count sweeps on one acquisition).
+    /// study trace-count sweeps on one acquisition): every column is
+    /// truncated to its prefix.
     pub fn truncated(&self, n_traces: usize) -> Dataset {
-        let n_traces = n_traces.min(self.traces);
+        let keep = n_traces.min(self.traces);
+        let gather_prefix = |src: &[f32]| -> Vec<f32> {
+            src.chunks_exact(self.traces.max(1)).flat_map(|col| &col[..keep]).copied().collect()
+        };
+        let knowns: Vec<u64> = self
+            .knowns
+            .chunks_exact(self.traces.max(1))
+            .flat_map(|col| &col[..keep])
+            .copied()
+            .collect();
         Dataset {
             n: self.n,
             targets: self.targets.clone(),
-            traces: n_traces,
-            knowns: self.knowns[..n_traces * self.targets.len() * 2].to_vec(),
-            points: self.points[..n_traces * self.targets.len() * POINTS_PER_TARGET].to_vec(),
+            traces: keep,
+            knowns,
+            points: gather_prefix(&self.points),
         }
     }
 }
@@ -343,6 +515,93 @@ mod tests {
         let t = ds.truncated(4);
         assert_eq!(t.traces(), 4);
         assert_eq!(t.sample(3, 0, 0, StepKind::Pack), ds.sample(3, 0, 0, StepKind::Pack));
+    }
+
+    #[test]
+    fn columns_are_borrowed_slices_into_the_dataset_buffer() {
+        // Pointer-provenance check of the zero-copy contract: the slices
+        // returned by the column accessors must lie inside the dataset's
+        // own columnar storage, not in a fresh allocation.
+        let mut d = device(1.0);
+        let mut mrng = Prng::from_seed(b"provenance msgs");
+        let ds = Dataset::collect(&mut d, &[1, 4], 16, &mut mrng);
+        let points = ds.points_columnar().as_ptr_range();
+        let knowns = ds.knowns_columnar().as_ptr_range();
+        for &target in &[1usize, 4] {
+            for occ in 0..2 {
+                let kc = ds.known_column(target, occ);
+                assert!(knowns.contains(&kc.as_ptr()), "known column must borrow from the buffer");
+                assert_eq!(kc.len(), ds.traces());
+                for step in StepKind::ALL {
+                    let sc = ds.sample_column(target, occ, step);
+                    assert!(
+                        points.contains(&sc.as_ptr()),
+                        "sample column must borrow from the buffer"
+                    );
+                    assert_eq!(sc.len(), ds.traces());
+                }
+            }
+        }
+        // Adjacent steps of one occurrence are adjacent columns: the
+        // tile kernel's cache-density assumption.
+        let a = ds.sample_column(1, 0, StepKind::ALL[0]).as_ptr() as usize;
+        let b = ds.sample_column(1, 0, StepKind::ALL[1]).as_ptr() as usize;
+        assert_eq!(b - a, ds.traces() * core::mem::size_of::<f32>());
+    }
+
+    #[test]
+    fn row_major_and_columnar_constructors_agree() {
+        let mut d = device(0.5);
+        let mut mrng = Prng::from_seed(b"ctor msgs");
+        let ds = Dataset::collect(&mut d, &[2, 6], 7, &mut mrng);
+        // Rebuild row-major from accessors, then re-construct.
+        let mut knowns = Vec::new();
+        let mut points = Vec::new();
+        for trace in 0..ds.traces() {
+            for &t in ds.targets() {
+                for occ in 0..2 {
+                    knowns.push(ds.known(trace, t, occ));
+                }
+                points.extend(ds.window(trace, t));
+            }
+        }
+        let rm =
+            Dataset::try_from_raw_parts(ds.n(), ds.targets().to_vec(), ds.traces(), knowns, points)
+                .unwrap();
+        assert_eq!(rm.knowns_columnar(), ds.knowns_columnar());
+        assert_eq!(rm.points_columnar(), ds.points_columnar());
+    }
+
+    #[test]
+    fn append_and_select_preserve_columns() {
+        let mut d = device(1.0);
+        let mut mrng = Prng::from_seed(b"append msgs");
+        let a = Dataset::collect(&mut d, &[0, 5], 6, &mut mrng);
+        let b = Dataset::collect(&mut d, &[0, 5], 9, &mut mrng);
+        let mut acc = Dataset::empty(8, &[0, 5]).unwrap();
+        acc.append(&a).unwrap();
+        acc.append(&b).unwrap();
+        assert_eq!(acc.traces(), 15);
+        for &t in &[0usize, 5] {
+            for occ in 0..2 {
+                for step in StepKind::ALL {
+                    let col = acc.sample_column(t, occ, step);
+                    assert_eq!(&col[..6], a.sample_column(t, occ, step));
+                    assert_eq!(&col[6..], b.sample_column(t, occ, step));
+                }
+                let kcol = acc.known_column(t, occ);
+                assert_eq!(&kcol[..6], a.known_column(t, occ));
+                assert_eq!(&kcol[6..], b.known_column(t, occ));
+            }
+        }
+        let sel = acc.select_targets(&[5]).unwrap();
+        assert_eq!(sel.targets(), &[5]);
+        for occ in 0..2 {
+            assert_eq!(sel.known_column(5, occ), acc.known_column(5, occ));
+            for step in StepKind::ALL {
+                assert_eq!(sel.sample_column(5, occ, step), acc.sample_column(5, occ, step));
+            }
+        }
     }
 
     #[test]

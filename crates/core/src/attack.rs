@@ -20,7 +20,8 @@
 //!   correlation matrices behind Figure 4.
 
 use crate::acquire::Dataset;
-use crate::cpa::CorrMatrix;
+use crate::cpa::{CorrMatrix, PearsonSums};
+use crate::exec;
 use crate::model::{
     assemble_coefficient, hyp_add_hi, hyp_add_lo, hyp_exponent_with_carry, hyp_partial_product,
     hyp_sign, KnownOperand, SecretHalf,
@@ -32,18 +33,13 @@ use std::sync::{Arc, OnceLock};
 /// Metric handles for the attack hot paths, resolved once. The counters
 /// take *bulk* adds at stage granularity (one add per beam level, not
 /// per scored candidate) so the instrumentation cost stays invisible
-/// next to the Pearson arithmetic it accounts for.
+/// next to the Pearson arithmetic it accounts for. (Fan-out accounting
+/// lives with the shared executor: see the `exec.*` metrics.)
 struct AttackMetrics {
     /// Full Pearson correlations evaluated (one per scored candidate).
     correlations: Arc<obs::Counter>,
     /// Candidate-set size per extend/prune stage.
     candidates: Arc<obs::Histogram>,
-    /// `parallel_map` invocations that fanned out across threads.
-    parallel_jobs: Arc<obs::Counter>,
-    /// `parallel_map` invocations that stayed on the calling thread.
-    serial_jobs: Arc<obs::Counter>,
-    /// Worker threads used by the most recent fan-out.
-    threads: Arc<obs::Gauge>,
 }
 
 fn attack_metrics() -> &'static AttackMetrics {
@@ -54,9 +50,6 @@ fn attack_metrics() -> &'static AttackMetrics {
             "attack.candidate_set_size",
             &[16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0],
         ),
-        parallel_jobs: obs::counter("attack.parallel_map.fanout"),
-        serial_jobs: obs::counter("attack.parallel_map.serial"),
-        threads: obs::gauge("attack.parallel_map.threads"),
     })
 }
 
@@ -101,60 +94,32 @@ pub struct CoefficientResult {
     pub mant_hi: ComponentResult,
 }
 
-/// Runs `f` over chunks of `items` on all available cores, preserving
-/// order.
-fn parallel_map<T: Sync, R: Send + Default + Clone, F: Fn(&T) -> R + Sync>(
-    items: &[T],
-    f: F,
-) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    let m = attack_metrics();
-    if items.len() < 256 || threads == 1 {
-        m.serial_jobs.incr();
-        return items.iter().map(&f).collect();
-    }
-    m.parallel_jobs.incr();
-    m.threads.set(threads as f64);
-    let mut out = vec![R::default(); items.len()];
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (inp, outp) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (i, o) in inp.iter().zip(outp.iter_mut()) {
-                    *o = f(i);
-                }
-            });
-        }
-    });
-    out
-}
-
-/// The per-trace data needed to score mantissa hypotheses for one target:
-/// known operands and the relevant sample columns.
-struct TargetColumns {
+/// The per-trace data needed to score mantissa hypotheses for one
+/// target: known operands and the relevant sample columns, the latter
+/// **borrowed** straight from the columnar dataset (zero copies on the
+/// hot path — one `TargetColumns` is built per mantissa-half recovery
+/// and then read by every scored candidate).
+struct TargetColumns<'a> {
     /// `(known, sample)` pairs for each product column in use.
-    cols: Vec<(Vec<u32>, Vec<f32>)>,
-    /// Full known operands per (trace, occurrence), for exact models.
-    knowns: Vec<KnownOperand>,
-    /// Prune-step samples per (trace, occurrence).
-    prune: Vec<f32>,
-    /// Top-word accumulation samples (`AddHiHi`), the cross-half prune
-    /// column.
-    extra_prune: Vec<f32>,
+    cols: Vec<(Vec<u32>, &'a [f32])>,
+    /// Full known operands per occurrence, for exact models.
+    knowns: [Vec<KnownOperand>; 2],
+    /// Prune-step sample column per occurrence.
+    prune: [&'a [f32]; 2],
+    /// Top-word accumulation column (`AddHiHi`) per occurrence, the
+    /// cross-half prune column.
+    extra_prune: [&'a [f32]; 2],
 }
 
-fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColumns {
+fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColumns<'_> {
     let (step_with_lo, step_with_hi, prune_step) = match half {
         SecretHalf::Low => (StepKind::PpLoLo, StepKind::PpLoHi, StepKind::AddLoHi),
         SecretHalf::High => (StepKind::PpHiLo, StepKind::PpHiHi, StepKind::AddHiHi),
     };
-    let mut cols = Vec::new();
-    let mut knowns = Vec::new();
-    let mut prune = Vec::new();
-    let mut extra_prune = Vec::new();
-    for occ in 0..2 {
-        let kcol: Vec<KnownOperand> =
-            ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect();
+    let knowns: [Vec<KnownOperand>; 2] = [0, 1]
+        .map(|occ| ds.known_column(target, occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
+    let mut cols = Vec::with_capacity(4);
+    for (occ, kcol) in knowns.iter().enumerate() {
         cols.push((
             kcol.iter().map(|k| k.lo).collect(),
             ds.sample_column(target, occ, step_with_lo),
@@ -163,21 +128,25 @@ fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColum
             kcol.iter().map(|k| k.hi).collect(),
             ds.sample_column(target, occ, step_with_hi),
         ));
-        prune.extend(ds.sample_column(target, occ, prune_step));
-        extra_prune.extend(ds.sample_column(target, occ, StepKind::AddHiHi));
-        knowns.extend(kcol);
     }
-    TargetColumns { cols, knowns, prune, extra_prune }
+    TargetColumns {
+        cols,
+        knowns,
+        prune: [0, 1].map(|occ| ds.sample_column(target, occ, prune_step)),
+        extra_prune: [0, 1].map(|occ| ds.sample_column(target, occ, StepKind::AddHiHi)),
+    }
 }
 
-impl TargetColumns {
+impl TargetColumns<'_> {
     /// Correlation of the partial-product model for `cand` (low `m_bits`
     /// of the secret half) across all product columns, together with the
     /// hypothesis variance (a candidate with near-constant hypotheses is
     /// statistically handicapped in the correlation ranking, not
-    /// refuted).
+    /// refuted). `scratch` is the caller's reusable hypothesis buffer —
+    /// its prior contents are irrelevant.
     fn extend_score(
         &self,
+        scratch: &mut Vec<f64>,
         cand: u64,
         m_bits: u32,
         full_width: u32,
@@ -189,10 +158,12 @@ impl TargetColumns {
         // the prune always use the full campaign).
         let mut sums = PearsonSums::default();
         for (kn, samples) in &self.cols {
-            for (&k, &t) in kn.iter().zip(samples).take(max_points) {
-                let h = hyp_partial_product(cand, m_bits, k, full_width);
-                sums.push(h, t as f64);
-            }
+            let take = kn.len().min(max_points);
+            scratch.clear();
+            scratch.extend(
+                kn[..take].iter().map(|&k| hyp_partial_product(cand, m_bits, k, full_width)),
+            );
+            sums.push_column(scratch, &samples[..take]);
         }
         (sums.corr(), sums.hyp_variance())
     }
@@ -202,65 +173,34 @@ impl TargetColumns {
     /// (`AddHiHi`) joins the score: it mixes both halves and remains
     /// informative even for the degenerate all-zero low half, whose own
     /// partial products are constants.
-    fn prune_score(&self, half: SecretHalf, cand: u64, other_half: Option<u64>) -> f64 {
+    fn prune_score(
+        &self,
+        scratch: &mut Vec<f64>,
+        half: SecretHalf,
+        cand: u64,
+        other_half: Option<u64>,
+    ) -> f64 {
         let mut sums = PearsonSums::default();
-        for (i, k) in self.knowns.iter().enumerate() {
+        for (occ, kn) in self.knowns.iter().enumerate() {
             match half {
                 SecretHalf::Low => {
-                    sums.push(hyp_add_lo(cand, k), self.prune[i] as f64);
+                    scratch.clear();
+                    scratch.extend(kn.iter().map(|k| hyp_add_lo(cand, k)));
+                    sums.push_column(scratch, self.prune[occ]);
                     if let Some(c_hi) = other_half {
-                        sums.push(hyp_add_hi(c_hi, cand, k), self.extra_prune[i] as f64);
+                        scratch.clear();
+                        scratch.extend(kn.iter().map(|k| hyp_add_hi(c_hi, cand, k)));
+                        sums.push_column(scratch, self.extra_prune[occ]);
                     }
                 }
                 SecretHalf::High => {
-                    sums.push(hyp_add_hi(cand, other_half.unwrap_or(0), k), self.prune[i] as f64);
+                    scratch.clear();
+                    scratch.extend(kn.iter().map(|k| hyp_add_hi(cand, other_half.unwrap_or(0), k)));
+                    sums.push_column(scratch, self.prune[occ]);
                 }
             }
         }
         sums.corr()
-    }
-}
-
-/// Streaming Pearson sums.
-#[derive(Debug, Default, Clone, Copy)]
-struct PearsonSums {
-    d: f64,
-    sh: f64,
-    sh2: f64,
-    st: f64,
-    st2: f64,
-    sht: f64,
-}
-
-impl PearsonSums {
-    #[inline]
-    fn push(&mut self, h: f64, t: f64) {
-        self.d += 1.0;
-        self.sh += h;
-        self.sh2 += h * h;
-        self.st += t;
-        self.st2 += t * t;
-        self.sht += h * t;
-    }
-
-    fn corr(&self) -> f64 {
-        let num = self.d * self.sht - self.sh * self.st;
-        let den = ((self.d * self.sh2 - self.sh * self.sh)
-            * (self.d * self.st2 - self.st * self.st))
-            .sqrt();
-        if den <= 0.0 {
-            0.0
-        } else {
-            num / den
-        }
-    }
-
-    /// Sample variance of the hypothesis side.
-    fn hyp_variance(&self) -> f64 {
-        if self.d < 2.0 {
-            return 0.0;
-        }
-        (self.sh2 - self.sh * self.sh / self.d) / (self.d - 1.0)
     }
 }
 
@@ -316,7 +256,9 @@ pub fn recover_mantissa_half(
         let max_points = if next == full_width { usize::MAX } else { 4000 };
         m.candidates.record(cands.len() as f64);
         m.correlations.add(cands.len() as u64);
-        let scores = parallel_map(&cands, |&c| tc.extend_score(c, next, full_width, max_points));
+        let scores = exec::map_with(&cands, Vec::new, |scratch, &c| {
+            tc.extend_score(scratch, c, next, full_width, max_points)
+        });
         // Correlation handicaps candidates with low hypothesis variance
         // (prefixes with trailing zero bits modulate few product bits; an
         // all-zero prefix is entirely constant and unfalsifiable). Keep
@@ -373,7 +315,9 @@ pub fn recover_mantissa_half(
     // addition.
     m.candidates.record(final_set.len() as f64);
     m.correlations.add(final_set.len() as u64);
-    let scores = parallel_map(&final_set, |&c| tc.prune_score(half, c, other_half));
+    let scores = exec::map_with(&final_set, Vec::new, |scratch, &c| {
+        tc.prune_score(scratch, half, c, other_half)
+    });
     let scored: Vec<(u64, f64)> = final_set.into_iter().zip(scores).collect();
     top_two(&scored)
 }
@@ -381,15 +325,15 @@ pub fn recover_mantissa_half(
 /// Recovers the sign bit by correlating the XOR step.
 pub fn recover_sign(ds: &Dataset, target: usize) -> ComponentResult {
     attack_metrics().correlations.add(2);
+    let mut scratch: Vec<f64> = Vec::with_capacity(ds.traces());
     let mut scored = Vec::with_capacity(2);
     for guess in 0u32..2 {
         let mut sums = PearsonSums::default();
         for occ in 0..2 {
             let knowns = ds.known_column(target, occ);
-            let samples = ds.sample_column(target, occ, StepKind::SignXor);
-            for (&kb, &t) in knowns.iter().zip(&samples) {
-                sums.push(hyp_sign(guess, &KnownOperand::new(kb)), t as f64);
-            }
+            scratch.clear();
+            scratch.extend(knowns.iter().map(|&kb| hyp_sign(guess, &KnownOperand::new(kb))));
+            sums.push_column(&scratch, ds.sample_column(target, occ, StepKind::SignXor));
         }
         scored.push((guess as u64, sums.corr()));
     }
@@ -419,31 +363,23 @@ pub fn recover_sign_exponent(
     let _span = obs::span("attack.sign_exp");
     attack_metrics().correlations.add(2 * 2046);
     let mantissa = ((c_hi & 0x7FF_FFFF) << 25) | d_lo;
-    // Per-(trace, occurrence) precomputation: everything that does not
-    // depend on the (sign, exponent) guess.
-    struct Pre {
-        /// HW of the mantissa-range XOR of the OperandLoad word.
-        load_low_hw: u32,
-        /// Top 12 bits of the rotated known operand (XORed against
-        /// sign‖exponent in the OperandLoad word).
-        rot_top: u32,
-        /// Known biased exponent plus the exactly-modelled carry, minus
-        /// the rebias constant.
-        exp_base: i32,
-        /// Known sign bit.
-        sign: u32,
-        /// Samples: OperandLoad, ExponentAdd, SignXor.
-        s_load: f64,
-        s_exp: f64,
-        s_sign: f64,
-    }
-    let mut pre = Vec::with_capacity(2 * ds.traces());
+    // Per-(trace, occurrence) precomputation of everything that does not
+    // depend on the (sign, exponent) guess — struct-of-arrays, so the
+    // per-candidate scoring runs `push_column` tiles over contiguous
+    // hypothesis and sample series.
+    let pre_len = 2 * ds.traces();
+    let mut load_low_hw: Vec<u32> = Vec::with_capacity(pre_len);
+    let mut rot_top: Vec<u32> = Vec::with_capacity(pre_len);
+    let mut exp_base: Vec<i32> = Vec::with_capacity(pre_len);
+    let mut k_sign: Vec<u32> = Vec::with_capacity(pre_len);
+    let mut s_load: Vec<f32> = Vec::with_capacity(pre_len);
+    let mut s_exp: Vec<f32> = Vec::with_capacity(pre_len);
+    let mut s_sign: Vec<f32> = Vec::with_capacity(pre_len);
     for occ in 0..2 {
-        let knowns = ds.known_column(target, occ);
-        let s_load = ds.sample_column(target, occ, StepKind::OperandLoad);
-        let s_exp = ds.sample_column(target, occ, StepKind::ExponentAdd);
-        let s_sign = ds.sample_column(target, occ, StepKind::SignXor);
-        for (i, &kb) in knowns.iter().enumerate() {
+        s_load.extend_from_slice(ds.sample_column(target, occ, StepKind::OperandLoad));
+        s_exp.extend_from_slice(ds.sample_column(target, occ, StepKind::ExponentAdd));
+        s_sign.extend_from_slice(ds.sample_column(target, occ, StepKind::SignXor));
+        for &kb in ds.known_column(target, occ) {
             let k = KnownOperand::new(kb);
             let rot = kb.rotate_left(32);
             let mant_mask = (1u64 << 52) - 1;
@@ -454,33 +390,38 @@ pub fn recover_sign_exponent(
             );
             let zu = words[StepKind::StickyFold as usize];
             let carry = (zu >> 55) as i32;
-            pre.push(Pre {
-                load_low_hw: ((mantissa ^ rot) & mant_mask).count_ones(),
-                rot_top: (rot >> 52) as u32,
-                exp_base: k.exp as i32 - 2100 + carry,
-                sign: k.sign,
-                s_load: s_load[i] as f64,
-                s_exp: s_exp[i] as f64,
-                s_sign: s_sign[i] as f64,
-            });
+            load_low_hw.push(((mantissa ^ rot) & mant_mask).count_ones());
+            rot_top.push((rot >> 52) as u32);
+            exp_base.push(k.exp as i32 - 2100 + carry);
+            k_sign.push(k.sign);
         }
     }
-    let mut scored: Vec<(u64, f64)> = Vec::with_capacity(2 * 2046);
-    for sign in 0u32..2 {
-        for ef in 1u32..2047 {
-            let top = (sign << 11) | ef;
-            let mut sums = PearsonSums::default();
-            for p in &pre {
-                let h_load = (p.load_low_hw + (top ^ p.rot_top).count_ones()) as f64;
-                let h_exp = ((p.exp_base + ef as i32) as u32).count_ones() as f64;
-                let h_sign = (sign ^ p.sign) as f64;
-                sums.push(h_load, p.s_load);
-                sums.push(h_exp, p.s_exp);
-                sums.push(h_sign, p.s_sign);
-            }
-            scored.push((crate::model::assemble_coefficient(sign, ef, c_hi, d_lo), sums.corr()));
-        }
-    }
+    let cands: Vec<(u32, u32)> =
+        (0u32..2).flat_map(|sign| (1u32..2047).map(move |ef| (sign, ef))).collect();
+    let scores = exec::map_with(&cands, Vec::new, |scratch: &mut Vec<f64>, &(sign, ef)| {
+        let top = (sign << 11) | ef;
+        let mut sums = PearsonSums::default();
+        scratch.clear();
+        scratch.extend(
+            load_low_hw
+                .iter()
+                .zip(&rot_top)
+                .map(|(&lhw, &rt)| (lhw + (top ^ rt).count_ones()) as f64),
+        );
+        sums.push_column(scratch, &s_load);
+        scratch.clear();
+        scratch.extend(exp_base.iter().map(|&eb| ((eb + ef as i32) as u32).count_ones() as f64));
+        sums.push_column(scratch, &s_exp);
+        scratch.clear();
+        scratch.extend(k_sign.iter().map(|&ks| (sign ^ ks) as f64));
+        sums.push_column(scratch, &s_sign);
+        sums.corr()
+    });
+    let scored: Vec<(u64, f64)> = cands
+        .into_iter()
+        .zip(scores)
+        .map(|((sign, ef), c)| (crate::model::assemble_coefficient(sign, ef, c_hi, d_lo), c))
+        .collect();
     let best = top_two(&scored);
     let bits = best.value;
     let sign = ComponentResult { value: bits >> 63, ..best };
@@ -495,16 +436,25 @@ pub fn recover_sign_exponent(
 /// drags the score down measurably.
 pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
     attack_metrics().correlations.incr();
+    let traces = ds.traces();
     let mut sums = PearsonSums::default();
+    // One flat hypothesis scratch keyed [step][trace]: `step_words` runs
+    // once per trace, its Hamming weights are scattered into per-step
+    // rows, and each row correlates as a contiguous tile against the
+    // borrowed sample column. No per-invocation `Vec<Vec<_>>`.
+    let mut hw = vec![0f64; StepKind::COUNT * traces];
     for occ in 0..2 {
-        let knowns = ds.known_column(target, occ);
-        let cols: Vec<Vec<f32>> =
-            StepKind::ALL.iter().map(|&s| ds.sample_column(target, occ, s)).collect();
-        for (i, &kb) in knowns.iter().enumerate() {
+        for (i, &kb) in ds.known_column(target, occ).iter().enumerate() {
             let words = crate::model::step_words(bits, &KnownOperand::new(kb));
-            for (s, col) in cols.iter().enumerate() {
-                sums.push(words[s].count_ones() as f64, col[i] as f64);
+            for (s, &w) in words.iter().enumerate() {
+                hw[s * traces + i] = w.count_ones() as f64;
             }
+        }
+        for (s, &step) in StepKind::ALL.iter().enumerate() {
+            sums.push_column(
+                &hw[s * traces..(s + 1) * traces],
+                ds.sample_column(target, occ, step),
+            );
         }
     }
     sums.corr()
@@ -519,18 +469,17 @@ pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
 /// uses instead).
 pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> ComponentResult {
     attack_metrics().correlations.add(2046);
-    let knowns: Vec<Vec<KnownOperand>> = (0..2)
-        .map(|occ| ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect())
-        .collect();
-    let samples: Vec<Vec<f32>> =
-        (0..2).map(|occ| ds.sample_column(target, occ, StepKind::ExponentAdd)).collect();
+    let knowns: [Vec<KnownOperand>; 2] = [0, 1]
+        .map(|occ| ds.known_column(target, occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
+    let samples: [&[f32]; 2] =
+        [0, 1].map(|occ| ds.sample_column(target, occ, StepKind::ExponentAdd));
     let guesses: Vec<u64> = (1..2047).collect();
-    let scores = parallel_map(&guesses, |&ef| {
+    let scores = exec::map_with(&guesses, Vec::new, |scratch: &mut Vec<f64>, &ef| {
         let mut sums = PearsonSums::default();
-        for occ in 0..2 {
-            for (k, &t) in knowns[occ].iter().zip(&samples[occ]) {
-                sums.push(hyp_exponent_with_carry(ef as u32, c_hi, d_lo, k), t as f64);
-            }
+        for (occ, kn) in knowns.iter().enumerate() {
+            scratch.clear();
+            scratch.extend(kn.iter().map(|k| hyp_exponent_with_carry(ef as u32, c_hi, d_lo, k)));
+            sums.push_column(scratch, samples[occ]);
         }
         sums.corr()
     });
@@ -656,10 +605,9 @@ pub fn monolithic_correlations(
             // depend only on the guessed window — this is where the
             // paper's shift-family false positives live (for the full
             // 25/27-bit width it is the complete product word).
-            let ext_hyps = parallel_map(&guesses, |&g| {
-                hyp_partial_product(g & wmask, width, k.lo, full_width)
-            });
-            let prune_hyps = parallel_map(&guesses, |&g| match half {
+            let ext_hyps =
+                exec::map(&guesses, |&g| hyp_partial_product(g & wmask, width, k.lo, full_width));
+            let prune_hyps = exec::map(&guesses, |&g| match half {
                 SecretHalf::Low => hyp_add_lo(g, &k),
                 SecretHalf::High => hyp_add_hi(g, d_lo_for_high, &k),
             });

@@ -45,7 +45,7 @@ pub fn evaluate_device(
     let samples = ds.sample_column(target, 0, StepKind::SignXor);
     let hyps: Vec<f64> =
         knowns.iter().map(|&k| hyp_sign(true_sign, &KnownOperand::new(k))).collect();
-    let evo = pearson_evolution(&hyps, &samples);
+    let evo = pearson_evolution(&hyps, samples);
     DefenceOutcome {
         recovered: result.bits == truth,
         sign_corr: evo.last().copied().unwrap_or(0.0),

@@ -1,0 +1,281 @@
+//! Shared deterministic executor for the attacker-side data plane.
+//!
+//! Every parallel loop in this crate — candidate scoring in the
+//! extend-and-prune attack, the per-trace `FFT(c)` recomputation during
+//! acquisition, the per-trace screening gates, the NTT guess sweep —
+//! runs through this one std-only executor instead of growing its own
+//! `thread::scope` fan-out. The design goals, in order:
+//!
+//! 1. **Bit-identical results at any thread count.** Work is split into
+//!    fixed-size chunks addressed by a shared atomic index; each chunk's
+//!    results are reassembled strictly in chunk order, so neither the
+//!    thread count nor the OS scheduler can reorder a single
+//!    floating-point operation relative to the serial execution of the
+//!    same chunks.
+//! 2. **No `R: Default + Clone` bound.** Results travel back through a
+//!    channel as `(chunk index, Vec<R>)` pairs rather than being written
+//!    into a pre-filled output buffer, so plain data types need no
+//!    dummy-value constructor (the old `attack::parallel_map` hack).
+//! 3. **Reproducible benches.** The worker count is overridable — by the
+//!    `FALCON_DEMA_THREADS` environment variable for whole-process runs
+//!    (CI's determinism matrix leg) and by [`set_threads`] for in-process
+//!    sweeps (the determinism test runs the same campaign at 1, 2 and N
+//!    threads and asserts identical keys and checkpoints).
+//!
+//! The executor handles only attacker-known values (public `FFT(c)`
+//! operands, captured samples, candidate guesses), so it carries no
+//! `// ct: secret` regions; the constant-time gates are unaffected by
+//! scheduling.
+
+use crate::obs;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+
+/// Below this many items a map stays on the calling thread: the spawn
+/// plus channel round-trip costs more than the work.
+const PAR_THRESHOLD: usize = 256;
+
+/// Smallest chunk handed to a worker; keeps the atomic index and the
+/// per-chunk `Vec` overhead invisible next to the chunk's own work.
+const MIN_CHUNK: usize = 32;
+
+/// In-process worker-count override; `0` means "not set" (fall back to
+/// the environment, then the hardware).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Metric handles for the executor, resolved once.
+struct ExecMetrics {
+    /// Maps that fanned out across worker threads.
+    fanout: Arc<obs::Counter>,
+    /// Maps that stayed on the calling thread.
+    serial: Arc<obs::Counter>,
+    /// Worker threads used by the most recent fan-out.
+    threads: Arc<obs::Gauge>,
+    /// Chunks dispatched across all fan-outs.
+    chunks: Arc<obs::Counter>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static M: OnceLock<ExecMetrics> = OnceLock::new();
+    M.get_or_init(|| ExecMetrics {
+        fanout: obs::counter("exec.fanout"),
+        serial: obs::counter("exec.serial"),
+        threads: obs::gauge("exec.threads"),
+        chunks: obs::counter("exec.chunks"),
+    })
+}
+
+/// The `FALCON_DEMA_THREADS` value at first use (cached: the executor
+/// sits on hot paths and `std::env::var` takes a lock).
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("FALCON_DEMA_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
+    })
+}
+
+/// The worker count the executor will use for the next fan-out:
+/// [`set_threads`] override, else `FALCON_DEMA_THREADS`, else
+/// [`std::thread::available_parallelism`]. Never zero.
+pub fn threads() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(env) = env_threads() {
+        if env > 0 {
+            return env;
+        }
+    }
+    std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+}
+
+/// Overrides the worker count for this process (`0` clears the override
+/// and returns to the environment/hardware default). Intended for
+/// reproducible benches and the determinism tests; takes precedence over
+/// `FALCON_DEMA_THREADS`.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Maps `f` over `items`, preserving order, on up to [`threads`] workers.
+///
+/// The output is bit-identical to `items.iter().map(f).collect()` for
+/// any deterministic `f`, at every thread count.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_with(items, || (), move |(), item| f(item))
+}
+
+/// Like [`map`], but each worker first builds a private scratch state
+/// with `make` and threads it through its calls — the allocation-free
+/// pattern behind the attack's hypothesis buffers (one scratch `Vec` per
+/// worker for the whole sweep instead of one per candidate).
+///
+/// Determinism contract: `f` must not let results depend on the scratch
+/// *history* (treat it as an uninitialised buffer each call); under that
+/// contract the output is bit-identical at every thread count.
+pub fn map_with<T, S, R, M, F>(items: &[T], make: M, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = threads();
+    let m = exec_metrics();
+    if workers == 1 || items.len() < PAR_THRESHOLD {
+        m.serial.incr();
+        let mut state = make();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    // Chunks a few times smaller than a fair share give the atomic index
+    // something to load-balance with; MIN_CHUNK bounds the bookkeeping.
+    let chunk = (items.len().div_ceil(4 * workers)).max(MIN_CHUNK);
+    let n_chunks = items.len().div_ceil(chunk);
+    let workers = workers.min(n_chunks);
+    m.fanout.incr();
+    m.threads.set(workers as f64);
+    m.chunks.add(n_chunks as u64);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            let make = &make;
+            scope.spawn(move || {
+                let mut state = make();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let hi = (lo + chunk).min(items.len());
+                    let out: Vec<R> =
+                        items[lo..hi].iter().map(|item| f(&mut state, item)).collect();
+                    if tx.send((c, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+    // All workers joined at scope exit; drain and reassemble in chunk
+    // order — the step that makes scheduling invisible in the output.
+    let mut parts: Vec<(usize, Vec<R>)> = rx.try_iter().collect();
+    parts.sort_unstable_by_key(|p| p.0);
+    debug_assert_eq!(parts.len(), n_chunks, "every chunk must report exactly once");
+    let mut out = Vec::with_capacity(items.len());
+    for (_, mut part) in parts {
+        out.append(&mut part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // `ct_lint` note: this module processes attacker-known data only
+    // (candidate guesses, public operands, measured samples), so the
+    // refactor introduces no new `// ct: secret` regions — the
+    // workspace-wide zero-new-violations gate in
+    // `crates/ct/tests/workspace_lint.rs` enforces exactly that.
+
+    /// Runs `f` under a temporary thread override, restoring the
+    /// previous override afterwards even on panic.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _guard = Restore(THREAD_OVERRIDE.swap(n, Ordering::Relaxed));
+        f()
+    }
+
+    #[test]
+    fn map_preserves_order_and_values() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let want: Vec<u64> = items.iter().map(|&v| v.wrapping_mul(2654435761)).collect();
+        for threads in [1, 2, 3, 8] {
+            let got = with_threads(threads, || map(&items, |&v| v.wrapping_mul(2654435761)));
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_accumulation_is_bit_identical_across_thread_counts() {
+        // Each item does its own chain of non-associative arithmetic;
+        // the executor must not change a single bit of any result.
+        let items: Vec<f64> = (0..5000).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+        let score = |&x: &f64| {
+            let mut acc = 0f64;
+            let mut v = x;
+            for _ in 0..50 {
+                v = v * 1.0000001 + 0.1;
+                acc += v * v;
+            }
+            acc
+        };
+        let serial: Vec<u64> =
+            with_threads(1, || map(&items, score)).into_iter().map(f64::to_bits).collect();
+        for threads in [2, 5, 16] {
+            let par: Vec<u64> = with_threads(threads, || map(&items, score))
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_worker_scratch() {
+        let items: Vec<usize> = (0..4096).collect();
+        let got = with_threads(4, || {
+            map_with(&items, Vec::<f64>::new, |scratch, &i| {
+                scratch.clear();
+                scratch.extend((0..8).map(|j| (i * 8 + j) as f64));
+                scratch.iter().sum::<f64>()
+            })
+        });
+        for (i, &v) in got.iter().enumerate() {
+            let want: f64 = (0..8).map(|j| (i * 8 + j) as f64).sum();
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        // Below the threshold nothing spawns; this is a behavioural
+        // contract (tiny beam levels must not pay fan-out latency).
+        let before = obs::metrics().snapshot();
+        let items: Vec<u32> = (0..PAR_THRESHOLD as u32 - 1).collect();
+        let got = with_threads(8, || map(&items, |&v| v + 1));
+        assert_eq!(got.len(), items.len());
+        let after = obs::metrics().snapshot();
+        assert_eq!(after.counter_delta(&before, "exec.fanout"), 0);
+        assert!(after.counter_delta(&before, "exec.serial") >= 1);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u8> = Vec::new();
+        assert!(map(&items, |&v| v).is_empty());
+    }
+
+    #[test]
+    fn thread_override_is_visible() {
+        with_threads(3, || assert_eq!(threads(), 3));
+    }
+}

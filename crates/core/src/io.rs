@@ -4,40 +4,71 @@
 //! module stores a [`Dataset`] in a compact self-describing binary format
 //! (magic, version, dimensions, then raw little-endian payloads) so
 //! acquisitions can be replayed, shared, and attacked offline.
+//!
+//! # Versions
+//!
+//! * **v1** (`FDNDSET\x01`): row-major payload — knowns keyed
+//!   `[trace][target][occ]`, samples `[trace][target][occ·14+step]`.
+//!   Still readable; transposed into the columnar layout on load.
+//! * **v2** (`FDNDSET\x02`, current): columnar payload — knowns keyed
+//!   `[target][occ][trace]`, samples `[target][occ][step][trace]`, a
+//!   byte-for-byte dump of the in-memory [`Dataset`] buffers. Writing
+//!   and loading are bulk copies with no transpose.
+//!
+//! Unknown versions are rejected with
+//! [`Error::UnsupportedVersion`](crate::error::Error::UnsupportedVersion).
 
 use crate::acquire::{Dataset, POINTS_PER_TARGET};
 use crate::error::{Error, Result};
 use std::io::{Read, Write};
 
-const MAGIC: &[u8; 8] = b"FDNDSET\x01";
+const MAGIC_PREFIX: &[u8; 7] = b"FDNDSET";
+const VERSION_V1: u8 = 1;
+const VERSION_V2: u8 = 2;
 
-/// Serialises a dataset.
+/// Serialises a dataset in the current (v2, columnar) format.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer. The format is
 /// platform-independent (fixed-width little-endian fields).
 pub fn write_dataset<W: Write>(ds: &Dataset, mut w: W) -> Result<()> {
-    w.write_all(MAGIC)?;
+    w.write_all(MAGIC_PREFIX)?;
+    w.write_all(&[VERSION_V2])?;
     w.write_all(&(ds.n() as u64).to_le_bytes())?;
     w.write_all(&(ds.targets().len() as u64).to_le_bytes())?;
     w.write_all(&(ds.traces() as u64).to_le_bytes())?;
     for &t in ds.targets() {
         w.write_all(&(t as u64).to_le_bytes())?;
     }
-    for trace in 0..ds.traces() {
-        for &t in ds.targets() {
-            for occ in 0..2 {
-                w.write_all(&ds.known(trace, t, occ).to_le_bytes())?;
-            }
+    write_u64s(&mut w, ds.knowns_columnar())?;
+    write_f32s(&mut w, ds.points_columnar())?;
+    Ok(())
+}
+
+/// Writes a u64 slice as little-endian words through a bounded stack
+/// buffer (one syscall-sized write per 256 words instead of one per
+/// word).
+fn write_u64s<W: Write>(w: &mut W, vals: &[u64]) -> Result<()> {
+    let mut buf = [0u8; 8 * 256];
+    for chunk in vals.chunks(256) {
+        for (dst, &v) in buf.chunks_exact_mut(8).zip(chunk) {
+            dst.copy_from_slice(&v.to_le_bytes());
         }
+        w.write_all(&buf[..8 * chunk.len()])?;
     }
-    for trace in 0..ds.traces() {
-        for &t in ds.targets() {
-            for v in ds.window(trace, t) {
-                w.write_all(&v.to_le_bytes())?;
-            }
+    Ok(())
+}
+
+/// Writes an f32 slice as little-endian samples with the same bounded
+/// buffering as [`write_u64s`].
+fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> Result<()> {
+    let mut buf = [0u8; 4 * 512];
+    for chunk in vals.chunks(512) {
+        for (dst, &v) in buf.chunks_exact_mut(4).zip(chunk) {
+            dst.copy_from_slice(&v.to_le_bytes());
         }
+        w.write_all(&buf[..4 * chunk.len()])?;
     }
     Ok(())
 }
@@ -98,20 +129,29 @@ pub(crate) fn read_f32s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f32>> {
     Ok(out)
 }
 
-/// Deserialises a dataset written by [`write_dataset`].
+/// Deserialises a dataset written by [`write_dataset`] — the current v2
+/// format or the legacy v1 row-major format (transposed on load).
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidData`] on a bad magic/version or implausible
-/// or overflowing dimensions, and [`Error::Io`] on truncation. Dimension
-/// products are computed with checked arithmetic and the payload is read
-/// incrementally, so a corrupt or hostile header cannot trigger an
-/// abort-on-OOM or a capacity overflow.
+/// Returns [`Error::InvalidData`] on a bad magic or implausible or
+/// overflowing dimensions, [`Error::UnsupportedVersion`] on a version
+/// this build does not understand, and [`Error::Io`] on truncation.
+/// Dimension products are computed with checked arithmetic and the
+/// payload is read incrementally, so a corrupt or hostile header cannot
+/// trigger an abort-on-OOM or a capacity overflow.
 pub fn read_dataset<R: Read>(mut r: R) -> Result<Dataset> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    if &magic[..7] != MAGIC_PREFIX {
         return Err(bad("not a falcon-down dataset (bad magic)"));
+    }
+    let version = magic[7];
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(Error::UnsupportedVersion {
+            found: u32::from(version),
+            supported: u32::from(VERSION_V2),
+        });
     }
     let n = checked_count(read_u64(&mut r)?, "ring degree")?;
     if !n.is_power_of_two() || !(2..=1 << 10).contains(&n) {
@@ -141,7 +181,11 @@ pub fn read_dataset<R: Read>(mut r: R) -> Result<Dataset> {
         .ok_or_else(|| bad("sample count overflows"))?;
     let knowns = read_u64s(&mut r, known_len)?;
     let points = read_f32s(&mut r, points_len)?;
-    Dataset::try_from_raw_parts(n, targets, traces, knowns, points)
+    if version == VERSION_V1 {
+        Dataset::try_from_raw_parts(n, targets, traces, knowns, points)
+    } else {
+        Dataset::try_from_columnar_parts(n, targets, traces, knowns, points)
+    }
 }
 
 #[cfg(test)]
@@ -165,28 +209,107 @@ mod tests {
         Dataset::collect(&mut dev, &[0, 2, 5], 12, &mut msgs)
     }
 
-    #[test]
-    fn roundtrip() {
-        let ds = sample_dataset();
-        let mut buf = Vec::new();
-        write_dataset(&ds, &mut buf).unwrap();
-        let back = read_dataset(&buf[..]).unwrap();
-        assert_eq!(back.n(), ds.n());
-        assert_eq!(back.targets(), ds.targets());
-        assert_eq!(back.traces(), ds.traces());
+    /// Writes `ds` in the legacy v1 row-major format, byte-for-byte what
+    /// the pre-columnar builds produced. Kept test-local: the library
+    /// only *reads* v1.
+    fn write_dataset_v1(ds: &Dataset, w: &mut Vec<u8>) {
+        w.extend_from_slice(MAGIC_PREFIX);
+        w.push(VERSION_V1);
+        w.extend_from_slice(&(ds.n() as u64).to_le_bytes());
+        w.extend_from_slice(&(ds.targets().len() as u64).to_le_bytes());
+        w.extend_from_slice(&(ds.traces() as u64).to_le_bytes());
+        for &t in ds.targets() {
+            w.extend_from_slice(&(t as u64).to_le_bytes());
+        }
         for trace in 0..ds.traces() {
             for &t in ds.targets() {
                 for occ in 0..2 {
-                    assert_eq!(back.known(trace, t, occ), ds.known(trace, t, occ));
+                    w.extend_from_slice(&ds.known(trace, t, occ).to_le_bytes());
+                }
+            }
+        }
+        for trace in 0..ds.traces() {
+            for &t in ds.targets() {
+                for v in ds.window(trace, t) {
+                    w.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    fn assert_datasets_equal(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.targets(), b.targets());
+        assert_eq!(a.traces(), b.traces());
+        for trace in 0..a.traces() {
+            for &t in a.targets() {
+                for occ in 0..2 {
+                    assert_eq!(a.known(trace, t, occ), b.known(trace, t, occ));
                     for step in StepKind::ALL {
-                        assert_eq!(
-                            back.sample(trace, t, occ, step),
-                            ds.sample(trace, t, occ, step)
-                        );
+                        assert_eq!(a.sample(trace, t, occ, step), b.sample(trace, t, occ, step));
                     }
                 }
             }
         }
+    }
+
+    #[test]
+    fn roundtrip_v2() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        assert_eq!(&buf[..8], b"FDNDSET\x02");
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_datasets_equal(&back, &ds);
+        // v2 is a byte dump of the columnar buffers: no transpose on load.
+        assert_eq!(back.knowns_columnar(), ds.knowns_columnar());
+        assert_eq!(back.points_columnar(), ds.points_columnar());
+    }
+
+    #[test]
+    fn reads_legacy_v1_row_major() {
+        let ds = sample_dataset();
+        let mut v1 = Vec::new();
+        write_dataset_v1(&ds, &mut v1);
+        let back = read_dataset(&v1[..]).unwrap();
+        assert_datasets_equal(&back, &ds);
+    }
+
+    #[test]
+    fn unknown_version_is_a_typed_error() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        buf[7] = 9;
+        match read_dataset(&buf[..]) {
+            Err(Error::UnsupportedVersion { found: 9, supported: 2 }) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // A non-FDNDSET stream is a magic failure, not a version failure.
+        buf[0] ^= 0xFF;
+        assert!(matches!(read_dataset(&buf[..]), Err(Error::InvalidData(_))));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_fails_cleanly() {
+        let mut rng = Prng::from_seed(b"io trunc key");
+        let kp = KeyPair::generate(LogN::new(1).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, 1.0),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
+        };
+        let mut dev = Device::new(kp.into_parts().0, chain, b"io trunc");
+        let mut msgs = Prng::from_seed(b"io trunc msgs");
+        let ds = Dataset::collect(&mut dev, &[0, 1], 3, &mut msgs);
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let r = read_dataset(&buf[..cut]);
+            assert!(r.is_err(), "prefix of {cut}/{} bytes must not parse", buf.len());
+        }
+        assert!(read_dataset(&buf[..]).is_ok());
     }
 
     #[test]

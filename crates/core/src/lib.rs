@@ -54,6 +54,7 @@ pub mod confidence;
 pub mod countermeasure;
 pub mod cpa;
 pub mod error;
+pub mod exec;
 pub mod io;
 pub mod model;
 pub mod ntt_attack;

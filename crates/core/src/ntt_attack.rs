@@ -45,22 +45,11 @@ pub fn attack_ntt_coefficient(
     }
     let truth = device.f_ntt()[index];
 
-    let threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
     let guesses: Vec<u32> = (0..Q).collect();
-    let chunk = guesses.len().div_ceil(threads);
-    let mut scores = vec![0f64; guesses.len()];
-    std::thread::scope(|scope| {
-        for (gs, out) in guesses.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-            let knowns = &knowns;
-            let samples = &samples;
-            scope.spawn(move || {
-                for (g, o) in gs.iter().zip(out.iter_mut()) {
-                    let hyps: Vec<f64> =
-                        knowns.iter().map(|&k| mq_mul(k, *g).count_ones() as f64).collect();
-                    *o = crate::cpa::pearson(&hyps, samples);
-                }
-            });
-        }
+    let scores = crate::exec::map_with(&guesses, Vec::new, |hyps: &mut Vec<f64>, &g| {
+        hyps.clear();
+        hyps.extend(knowns.iter().map(|&k| mq_mul(k, g).count_ones() as f64));
+        crate::cpa::pearson(hyps, &samples)
     });
 
     let mut best = (0u32, f64::NEG_INFINITY);

@@ -16,13 +16,11 @@
 //! screened dataset together with an [`AcquisitionStats`] account of
 //! every capture's fate.
 
-use crate::acquire::{Dataset, POINTS_PER_TARGET};
+use crate::acquire::{recompute_trace, scatter_rows, Dataset};
 use crate::error::{Error, Result};
+use crate::exec;
 use crate::obs;
-use falcon_emsim::{Device, StepKind, Trace};
-use falcon_fpr::Fpr;
-use falcon_sig::fft::fft;
-use falcon_sig::hash::hash_to_point;
+use falcon_emsim::{Device, Trace};
 use falcon_sig::rng::Prng;
 
 /// Screening thresholds. The defaults are deliberately permissive: they
@@ -185,49 +183,39 @@ impl Dataset {
             .filter(|c| c.realign)
             .map(|_| median_reference(batch.iter().map(|c| &c.trace), expected_len));
 
-        // Pass 2: screen, realign and extract the target windows.
-        let mut knowns = Vec::new();
-        let mut points = Vec::new();
-        let mut shifted; // scratch for realigned traces
-        for cap in &batch {
-            let samples: &[f32] = match cfg {
-                None => &cap.trace.samples,
-                Some(c) => match screen_trace(&cap.trace.samples, reference.as_deref(), c, rail) {
-                    Verdict::Saturated => {
-                        stats.discarded_saturated += 1;
-                        continue;
-                    }
-                    Verdict::Dead => {
-                        stats.discarded_dead += 1;
-                        continue;
-                    }
-                    Verdict::Misaligned => {
-                        stats.discarded_misaligned += 1;
-                        continue;
-                    }
-                    Verdict::Keep { shift: 0 } => &cap.trace.samples,
-                    Verdict::Keep { shift } => {
-                        stats.realigned += 1;
-                        shifted = apply_shift(&cap.trace.samples, shift);
-                        &shifted
-                    }
-                },
-            };
-            stats.kept += 1;
-            let c = hash_to_point(&cap.salt, &cap.msg, n);
-            let mut c_fft: Vec<Fpr> = c.iter().map(|&v| Fpr::from_i64(v as i64)).collect();
-            fft(&mut c_fft);
-            for &target in targets {
-                for (mul_idx, known_idx) in layout.muls_for_secret(target) {
-                    knowns.push(c_fft[known_idx].to_bits());
-                    for step in StepKind::ALL {
-                        points.push(samples[layout.sample_index(mul_idx, step)]);
+        // Pass 2a: per-trace quality gates. Pure given the shared batch
+        // reference, so they fan out on the executor (bit-identical
+        // verdicts at any thread count); the stats fold stays serial.
+        let mut kept: Vec<(usize, isize)> = Vec::with_capacity(batch.len());
+        match cfg {
+            None => kept.extend((0..batch.len()).map(|i| (i, 0isize))),
+            Some(c) => {
+                let verdicts = exec::map(&batch, |cap| {
+                    screen_trace(&cap.trace.samples, reference.as_deref(), c, rail)
+                });
+                for (i, v) in verdicts.iter().enumerate() {
+                    match *v {
+                        Verdict::Saturated => stats.discarded_saturated += 1,
+                        Verdict::Dead => stats.discarded_dead += 1,
+                        Verdict::Misaligned => stats.discarded_misaligned += 1,
+                        Verdict::Keep { shift } => {
+                            if shift != 0 {
+                                stats.realigned += 1;
+                            }
+                            kept.push((i, shift));
+                        }
                     }
                 }
             }
         }
+        stats.kept = kept.len();
 
-        let mut ds = Dataset::try_from_raw_parts(n, targets.to_vec(), stats.kept, knowns, points)?;
+        // Pass 2b: recompute the attacker-side operands and extract the
+        // (realigned) target windows of every kept trace, in parallel;
+        // one columnar scatter builds the dataset.
+        let rows =
+            exec::map(&kept, |&(i, shift)| recompute_trace(&batch[i], n, targets, &layout, shift));
+        let mut ds = scatter_rows(n, targets, &rows)?;
         if let Some(c) = cfg {
             if c.mad_k > 0.0 {
                 stats.winsorized = winsorize_columns(&mut ds, c.mad_k);
@@ -361,42 +349,26 @@ fn shifted_correlation(samples: &[f32], reference: &[f32], shift: isize) -> f64 
     cov / (vx * vy).sqrt()
 }
 
-/// Builds the realigned trace: sample `i` of the result is sample
-/// `i + shift` of the input, zero-filled where the source window ran
-/// past the capture.
-fn apply_shift(samples: &[f32], shift: isize) -> Vec<f32> {
-    let len = samples.len() as isize;
-    (0..len)
-        .map(|i| {
-            let src = i + shift;
-            if (0..len).contains(&src) {
-                samples[src as usize]
-            } else {
-                0.0
-            }
-        })
-        .collect()
-}
-
 /// Clamps per-column outliers to `median ± k·1.4826·MAD`. Returns the
 /// number of samples clamped. Robust against glitch bursts that survive
 /// the per-trace gates: a burst only touches a few traces per column,
-/// so it cannot move the median or the MAD.
+/// so it cannot move the median or the MAD. In the columnar layout each
+/// `(target, occ, step)` column is a contiguous `traces`-long run of the
+/// sample buffer, so the pass is a straight sweep with no strided
+/// gathers.
 fn winsorize_columns(ds: &mut Dataset, k: f64) -> usize {
     let traces = ds.traces();
-    let n_targets = ds.targets().len();
     if traces < 8 {
         // Too few traces for a meaningful MAD estimate.
         return 0;
     }
-    let stride = n_targets * POINTS_PER_TARGET;
     let points = ds.points_mut();
     let mut clamped = 0usize;
-    let mut col = Vec::with_capacity(traces);
-    for c in 0..stride {
-        col.clear();
-        col.extend((0..traces).map(|t| points[t * stride + c]));
-        let med = median_f32(&mut col.clone());
+    let mut scratch = Vec::with_capacity(traces);
+    for col in points.chunks_exact_mut(traces) {
+        scratch.clear();
+        scratch.extend_from_slice(col);
+        let med = median_f32(&mut scratch);
         let mut dev: Vec<f32> = col.iter().map(|v| (v - med).abs()).collect();
         let mad = median_f32(&mut dev);
         // A zero MAD means over half the column is identical — treat the
@@ -406,8 +378,7 @@ fn winsorize_columns(ds: &mut Dataset, k: f64) -> usize {
         }
         let bound = (k * 1.4826 * mad as f64) as f32;
         let (lo, hi) = (med - bound, med + bound);
-        for t in 0..traces {
-            let v = &mut points[t * stride + c];
+        for v in col.iter_mut() {
             if *v < lo {
                 *v = lo;
                 clamped += 1;
@@ -517,7 +488,7 @@ mod tests {
         let mut total = 0usize;
         for t in 0..30 {
             for &target in &[2usize, 6] {
-                for (a, b) in plain.window(t, target).iter().zip(screened.window(t, target)) {
+                for (a, b) in plain.window(t, target).into_iter().zip(screened.window(t, target)) {
                     total += 1;
                     if a == b {
                         matching += 1;
@@ -565,7 +536,7 @@ mod tests {
         // No sample may remain near the glitch amplitude.
         for t in 0..ds.traces() {
             for &target in &[0usize, 1, 2, 3] {
-                for &v in ds.window(t, target) {
+                for v in ds.window(t, target) {
                     assert!(v.abs() < 400.0, "unclamped outlier {v}");
                 }
             }

@@ -144,17 +144,15 @@ pub fn rank_by_likelihood<F: Fn(u64, &KnownOperand) -> u32>(
     candidates: &[u64],
     predict: F,
 ) -> Vec<(u64, f64)> {
-    let knowns: Vec<Vec<KnownOperand>> = (0..2)
-        .map(|occ| ds.known_column(target, occ).into_iter().map(KnownOperand::new).collect())
-        .collect();
-    let samples: Vec<Vec<f32>> =
-        (0..2).map(|occ| ds.sample_column(target, occ, templates.step())).collect();
+    let knowns: [Vec<KnownOperand>; 2] = [0, 1]
+        .map(|occ| ds.known_column(target, occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
+    let samples: [&[f32]; 2] = [0, 1].map(|occ| ds.sample_column(target, occ, templates.step()));
     let mut scored: Vec<(u64, f64)> = candidates
         .iter()
         .map(|&cand| {
             let mut ll = 0f64;
-            for occ in 0..2 {
-                for (k, &s) in knowns[occ].iter().zip(&samples[occ]) {
+            for (occ, kn) in knowns.iter().enumerate() {
+                for (k, &s) in kn.iter().zip(samples[occ]) {
                     ll += templates.log_likelihood(predict(cand, k), s);
                 }
             }

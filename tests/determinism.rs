@@ -1,0 +1,122 @@
+//! Determinism under parallelism: the full FALCON-8 campaign → key
+//! recovery pipeline must produce bit-identical results at every worker
+//! count of the shared executor.
+//!
+//! The executor (`falcon_dema::exec`) splits work into fixed chunks
+//! addressed by an atomic index and reassembles results in chunk order,
+//! so neither the thread count nor the OS scheduler can reorder a single
+//! floating-point operation. This test is the end-to-end check of that
+//! contract: one campaign at the ambient thread configuration, then the
+//! same campaign pinned to 1, 2 and `available_parallelism()` workers,
+//! asserting identical recovered keys, identical checkpoint bytes, and
+//! thread-count-independent pipeline counters.
+//!
+//! Kept as a single `#[test]` in its own integration binary: the obs
+//! metrics registry is process-global, and concurrent tests in the same
+//! binary would interleave their counter deltas.
+
+use falcon_down::dema::obs;
+use falcon_down::dema::recover::key_from_fft_bits;
+use falcon_down::dema::{exec, Campaign, CampaignConfig};
+use falcon_down::emsim::{Device, LeakageModel, MeasurementChain, Scope};
+use falcon_down::sig::rng::Prng;
+use falcon_down::sig::{KeyPair, LogN};
+
+/// Counters whose per-campaign deltas must not depend on the worker
+/// count. (The `exec.*` scheduling counters — serial/fanout/chunks — are
+/// legitimately thread-dependent and deliberately absent.)
+const THREAD_INDEPENDENT_COUNTERS: &[&str] = &[
+    "attack.correlations",
+    "campaign.batches",
+    "campaign.converged",
+    "screen.requested",
+    "screen.kept",
+    "screen.dropped_trigger",
+    "screen.realigned",
+    "screen.winsorized_samples",
+];
+
+struct RunOutcome {
+    /// Recovered `FFT(f)` bit vector.
+    bits: Vec<u64>,
+    /// Serialised campaign checkpoint after convergence.
+    checkpoint: Vec<u8>,
+    /// Deltas of the thread-independent counters over this run.
+    counters: Vec<u64>,
+}
+
+/// One complete FALCON-8 campaign from fixed seeds: keygen, adaptive
+/// screened acquisition, extend-and-prune recovery, NTRU key recovery,
+/// and a forgery check against the victim's verifier.
+fn run_campaign() -> RunOutcome {
+    let before = obs::metrics().snapshot();
+    let mut rng = Prng::from_seed(b"determinism key");
+    let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+    let vk = kp.verifying_key().clone();
+    let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, 1.0),
+        lowpass: 0.0,
+        scope: Scope { enabled: false, ..Default::default() },
+        ..Default::default()
+    };
+    let mut device = Device::new(kp.into_parts().0, chain, b"determinism bench");
+    let mut msgs = Prng::from_seed(b"determinism msgs");
+    let cfg = CampaignConfig { batch_size: 60, max_traces: 600, ..Default::default() };
+    let mut campaign = Campaign::new(8, cfg).unwrap();
+    let report = campaign.run(&mut device, &mut msgs).unwrap();
+    assert!(report.is_complete(), "campaign must converge: {report:?}");
+    let bits = report.recovered_bits().unwrap();
+    assert_eq!(bits, truth, "recovered FFT(f) must match the victim key");
+
+    let rec = key_from_fft_bits(&bits, &vk).expect("NTRU key recovery");
+    let forged = rec.sk.sign(b"determinism forgery", &mut msgs);
+    assert!(vk.verify(b"determinism forgery", &forged), "forgery must verify");
+
+    let mut checkpoint = Vec::new();
+    campaign.write_checkpoint(&device, &msgs, &mut checkpoint).unwrap();
+    let after = obs::metrics().snapshot();
+    let counters =
+        THREAD_INDEPENDENT_COUNTERS.iter().map(|name| after.counter_delta(&before, name)).collect();
+    RunOutcome { bits, checkpoint, counters }
+}
+
+#[test]
+fn campaign_is_bit_identical_across_thread_counts() {
+    // Restore the ambient configuration even if an assertion fires
+    // mid-sweep (other processes reuse this binary's exit state only via
+    // the env var, but in-process reruns must not inherit a pin).
+    struct ClearOverride;
+    impl Drop for ClearOverride {
+        fn drop(&mut self) {
+            exec::set_threads(0);
+        }
+    }
+    let _clear = ClearOverride;
+
+    // Baseline at the ambient thread configuration (honours
+    // FALCON_DEMA_THREADS — CI runs this leg with 1 vs default).
+    let baseline = run_campaign();
+
+    let avail = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    for threads in [1usize, 2, avail] {
+        exec::set_threads(threads);
+        let run = run_campaign();
+        assert_eq!(
+            run.bits, baseline.bits,
+            "recovered key must be bit-identical at {threads} thread(s)"
+        );
+        assert_eq!(
+            run.checkpoint, baseline.checkpoint,
+            "checkpoint bytes must be identical at {threads} thread(s)"
+        );
+        for (name, (got, want)) in
+            THREAD_INDEPENDENT_COUNTERS.iter().zip(run.counters.iter().zip(&baseline.counters))
+        {
+            assert_eq!(
+                got, want,
+                "counter {name} must be thread-count-independent at {threads} thread(s)"
+            );
+        }
+    }
+}
