@@ -37,7 +37,9 @@ pub fn print_csv(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Renders a quick ASCII sparkline of a series (amplitude-normalised).
 pub fn sparkline(series: &[f64]) -> String {
     const GLYPHS: [char; 8] = ['1', '2', '3', '4', '5', '6', '7', '8'];
+    // ct: allow(min fold is order-independent)
     let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    // ct: allow(max fold is order-independent)
     let min = series.iter().cloned().fold(f64::MAX, f64::min);
     let span = (max - min).max(1e-12);
     series

@@ -156,7 +156,9 @@ pub fn pearson(hyps: &[f64], samples: &[f32]) -> f64 {
     if hyps.is_empty() {
         return 0.0;
     }
+    // ct: allow(pinned fold kernel: sequential in-order slice sum)
     let mean_h = hyps.iter().sum::<f64>() / d;
+    // ct: allow(pinned fold kernel: sequential in-order slice sum)
     let mean_t = samples.iter().map(|&t| t as f64).sum::<f64>() / d;
     let (mut c, mut vh, mut vt) = (0f64, 0f64, 0f64);
     for (&h, &t) in hyps.iter().zip(samples) {

@@ -70,6 +70,7 @@ fn exec_metrics() -> &'static ExecMetrics {
 /// sits on hot paths and `std::env::var` takes a lock).
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    // ct: allow(opt-in worker-count knob, read once and cached)
     *ENV.get_or_init(|| {
         std::env::var("FALCON_DEMA_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok())
     })
@@ -272,6 +273,58 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let items: Vec<u8> = Vec::new();
         assert!(map(&items, |&v| v).is_empty());
+        assert!(map_with(&items, || 0u64, |_, &v| v).is_empty());
+    }
+
+    #[test]
+    fn single_item_maps_at_any_thread_count() {
+        for threads in [1, 2, 8] {
+            let got = with_threads(threads, || map(&[41u32], |&v| v + 1));
+            assert_eq!(got, vec![42], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_threads_is_correct() {
+        let items: Vec<u32> = (0..3).collect();
+        let got = with_threads(16, || map(&items, |&v| v * 10));
+        assert_eq!(got, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_clamped() {
+        // At exactly PAR_THRESHOLD items with a large override, chunking
+        // produces fewer chunks than requested workers; the executor must
+        // clamp rather than spawn idle threads, and the output must still
+        // be exact.
+        let items: Vec<u64> = (0..PAR_THRESHOLD as u64).collect();
+        let want: Vec<u64> = items.iter().map(|&v| v * 3 + 1).collect();
+        let before = obs::metrics().snapshot();
+        let got = with_threads(64, || map(&items, |&v| v * 3 + 1));
+        assert_eq!(got, want);
+        let after = obs::metrics().snapshot();
+        assert!(after.counter_delta(&before, "exec.fanout") >= 1);
+    }
+
+    #[test]
+    fn map_with_is_bit_identical_across_thread_counts() {
+        // A contract-abiding `f` (scratch treated as uninitialised per
+        // call) must see no difference between serial and fan-out runs,
+        // even though workers reuse scratch across many chunks.
+        let items: Vec<u64> = (0..4096).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                map_with(&items, Vec::<f64>::new, |scratch, &i| {
+                    scratch.clear();
+                    scratch.extend((0..16).map(|j| 1.0 + ((i * 16 + j) as f64) * 1e-9));
+                    scratch.iter().fold(0f64, |a, &b| a.mul_add(1.0000001, b)).to_bits()
+                })
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 7, 32] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

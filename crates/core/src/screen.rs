@@ -293,7 +293,9 @@ fn screen_trace(
         return Verdict::Saturated;
     }
     // Dead trace: no variance worth correlating against.
+    // ct: allow(pinned fold kernel: sequential in-order slice sum)
     let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+    // ct: allow(pinned fold kernel: sequential in-order slice sum)
     let var =
         samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / samples.len() as f64;
     if var < cfg.min_variance {

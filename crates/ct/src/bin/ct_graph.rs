@@ -1,0 +1,139 @@
+//! Call-graph and taint-summary dumper.
+//!
+//! Builds the workspace call graph, computes the interprocedural taint
+//! summaries to a fixpoint, prints the secret-handling functions and
+//! optionally writes the full JSON artifact CI uploads.
+//!
+//! ```text
+//! ct_graph [--root DIR] [--json FILE] [--assert-discoveries N]
+//! ```
+//!
+//! `--assert-discoveries N` exits 1 unless the pass found at least `N`
+//! secret-tainted functions *outside* annotated `ct: secret` regions —
+//! the CI guard that the analysis keeps seeing through the annotation
+//! discipline instead of merely restating it.
+//!
+//! Exit status: 0 on success, 1 on a failed assertion, 2 on usage or
+//! I/O errors.
+
+use falcon_ct::report::graph_report;
+use falcon_ct::{CallGraph, TaintMap};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    assert_discoveries: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: default_root(), json: None, assert_discoveries: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--json" => args.json = Some(it.next().ok_or("--json needs a value")?.into()),
+            "--assert-discoveries" => {
+                args.assert_discoveries = Some(
+                    it.next()
+                        .ok_or("--assert-discoveries needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--assert-discoveries: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: ct_graph [--root DIR] [--json FILE] [--assert-discoveries N]".into()
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// containing `Cargo.toml` with a `[workspace]` table, else `.`.
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let _span = falcon_obs::span("ct.graph");
+
+    let graph = match CallGraph::build(&args.root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ct_graph: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let map = TaintMap::compute(&graph);
+    let outside = map.tainted_outside_regions(&graph);
+    falcon_obs::counter("ct.graph.functions").add(graph.fns.len() as u64);
+    falcon_obs::counter("ct.graph.tainted_outside_regions").add(outside.len() as u64);
+
+    for (i, f) in graph.fns.iter().enumerate() {
+        if f.is_test || !map.summaries[i].is_tainted() {
+            continue;
+        }
+        let s = &map.summaries[i];
+        let params: Vec<&str> = s.tainted_params.iter().map(|p| p.as_str()).collect();
+        println!(
+            "{}:{}: {} params=[{}] returns_secret={} region={} — {}",
+            f.file,
+            f.line,
+            f.qual,
+            params.join(", "),
+            s.returns_secret,
+            f.has_region,
+            s.cause,
+        );
+    }
+    println!(
+        "ct_graph: {} function(s), {} call site(s), {} round(s): {} tainted, {} outside annotated regions",
+        graph.fns.len(),
+        graph.calls.len(),
+        map.rounds,
+        map.summaries.iter().zip(&graph.fns).filter(|(s, f)| !f.is_test && s.is_tainted()).count(),
+        outside.len(),
+    );
+
+    if let Some(json_path) = &args.json {
+        let doc = graph_report(&graph, &map).render();
+        if let Err(e) = std::fs::write(json_path, doc) {
+            eprintln!("ct_graph: writing {}: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(min) = args.assert_discoveries {
+        if outside.len() < min {
+            eprintln!(
+                "ct_graph: only {} tainted function(s) outside annotated regions (need >= {min})",
+                outside.len()
+            );
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,13 +1,20 @@
-//! Secret-taint lint runner.
+//! Static constant-time verification runner.
 //!
-//! Scans every `.rs` file under the workspace root for `ct: secret`
-//! region violations, prints them as `file:line: [rule] message`,
-//! optionally writes a JSON report, and compares against the checked-in
-//! baseline (`ct-baseline.jsonl` at the root).
+//! Runs the three lexical passes over every `.rs` file under the
+//! workspace root — the `ct: secret` region lint, the interprocedural
+//! taint pass (type-seeded, call-graph propagated) and the
+//! unsafe/determinism audits — merges their findings (deduplicated by
+//! fingerprint), prints them as `file:line: [rule] message`, optionally
+//! writes a JSON report, and compares against the checked-in baseline
+//! (`ct-baseline.jsonl` at the root).
 //!
 //! ```text
 //! ct_lint [--root DIR] [--json FILE] [--baseline FILE] [--update-baseline]
 //! ```
+//!
+//! `--update-baseline` prints the added/removed fingerprints (with
+//! their locations) before rewriting, so a baseline refresh is a
+//! reviewable diff rather than a silent reset.
 //!
 //! Exit status: 0 when no new (non-baselined) violations, 1 when new
 //! violations exist, 2 on usage or I/O errors.
@@ -76,26 +83,74 @@ fn main() -> ExitCode {
         args.baseline.clone().unwrap_or_else(|| args.root.join("ct-baseline.jsonl"));
 
     let allow = CallAllowlist::workspace_default();
-    let outcome = match falcon_ct::lint_tree(&args.root, &allow) {
+    let mut outcome = match falcon_ct::lint_tree(&args.root, &allow) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("ct_lint: scanning {}: {e}", args.root.display());
             return ExitCode::from(2);
         }
     };
+
+    // Interprocedural taint pass over the same tree.
+    let graph = match falcon_ct::CallGraph::build(&args.root) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ct_lint: building call graph under {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let taint = falcon_ct::TaintMap::compute(&graph);
+    outcome.violations.extend(falcon_ct::summary::taint_violations(&graph, &taint, &allow));
+
+    // Unsafe-audit and determinism passes.
+    match falcon_ct::audit::audit_tree(&args.root) {
+        Ok(v) => outcome.violations.extend(v),
+        Err(e) => {
+            eprintln!("ct_lint: auditing {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    // Merge: sort and deduplicate by fingerprint (a region finding and
+    // an interprocedural finding at the same statement hash alike).
+    outcome.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    outcome.violations.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
+
     falcon_obs::counter("ct.lint.files").add(outcome.files as u64);
     falcon_obs::counter("ct.lint.violations").add(outcome.violations.len() as u64);
 
     if args.update_baseline {
+        // Human-readable diff against the previous baseline before
+        // rewriting it.
+        let previous = Baseline::load(&baseline_path).unwrap_or_default();
+        let mut added = 0usize;
+        for v in &outcome.violations {
+            if !previous.contains(v) {
+                println!(
+                    "baseline + {} {}:{}: [{}] {}",
+                    v.fingerprint(),
+                    v.file,
+                    v.line,
+                    v.rule,
+                    v.snippet
+                );
+                added += 1;
+            }
+        }
+        let removed = previous.stale(&outcome.violations);
+        for fp in &removed {
+            println!("baseline - {fp} (no longer present)");
+        }
         let text = Baseline::render(&outcome.violations);
         if let Err(e) = std::fs::write(&baseline_path, &text) {
             eprintln!("ct_lint: writing {}: {e}", baseline_path.display());
             return ExitCode::from(2);
         }
         println!(
-            "ct_lint: baselined {} violation(s) into {}",
+            "ct_lint: baselined {} violation(s) into {} (+{added}, -{})",
             outcome.violations.len(),
-            baseline_path.display()
+            baseline_path.display(),
+            removed.len(),
         );
     }
 

@@ -159,6 +159,22 @@ pub fn check_all(cfg: &DynConfig) -> Vec<Outcome> {
             let _ = y.div(x.expose());
         }),
         check_primitive(
+            "sqr",
+            cfg,
+            |s| (Secret::new(rand_fpr(s, -100, 100)), Fpr::ZERO),
+            |x, _| {
+                let _ = x.expose().sqr();
+            },
+        ),
+        check_primitive(
+            "inv",
+            cfg,
+            |s| (Secret::new(rand_fpr(s, -100, 100)), Fpr::ZERO),
+            |x, _| {
+                let _ = x.expose().inv();
+            },
+        ),
+        check_primitive(
             "sqrt",
             cfg,
             |s| (Secret::new(rand_pos_fpr(s, -200, 200)), Fpr::ZERO),
@@ -259,7 +275,9 @@ mod tests {
     #[test]
     fn all_primitives_are_constant_time() {
         let cfg = DynConfig { iters: 64, ..DynConfig::default() };
-        for outcome in check_all(&cfg) {
+        let outcomes = check_all(&cfg);
+        assert_eq!(outcomes.len(), 14, "primitive coverage regressed");
+        for outcome in outcomes {
             assert!(
                 outcome.constant_time,
                 "{}: {} (after {} runs)",

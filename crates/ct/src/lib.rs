@@ -5,43 +5,63 @@
 //! exists because the emulated floating-point pipeline processes
 //! secret-derived values. Defensive hardening of that pipeline (and of
 //! the sampler feeding it) only holds if the code stays constant time
-//! as it evolves; this crate provides the two complementary checkers
-//! that enforce it:
+//! as it evolves; this crate enforces that with three static passes and
+//! one dynamic one:
 //!
-//! 1. **A secret-taint source lint** ([`lint`], `ct_lint` binary):
-//!    regions annotated `// ct: secret(…)` are checked, with line-level
-//!    taint propagation, for secret-dependent branches, memory indexing,
-//!    `/`/`%`, short-circuit booleans, and calls to non-allowlisted
-//!    functions. Violations carry `file:line`, render to JSON, and
-//!    compare against a checked-in [baseline](baseline) so CI fails
-//!    only on regressions.
-//! 2. **A dynamic trace checker** ([`dyncheck`], `ct_dyn` binary):
+//! 1. **A region lint** ([`lint`], statement-level): regions annotated
+//!    `// ct: secret(…)` are checked, with binding-level taint
+//!    propagation across stitched multi-line statements, for
+//!    secret-dependent branches, memory indexing, `/`/`%`,
+//!    short-circuit booleans, and calls to non-allowlisted functions.
+//! 2. **An interprocedural taint pass** ([`graph`] + [`summary`]):
+//!    a lexical call graph over every workspace crate, with per-function
+//!    [`summary::TaintSummary`] entries seeded from key-material types
+//!    (`SigningKey`, `LdlTree`, `Secret`) and region annotations, then
+//!    propagated across call edges to a fixpoint — so the same rules
+//!    fire in functions nobody annotated. The `ct_graph` binary dumps
+//!    the graph and asserts a discovery floor in CI.
+//! 3. **Unsafe & determinism audits** ([`audit`]): `unsafe` is allowed
+//!    only in the allowlisted SIMD modules and only under a `// SAFETY:`
+//!    comment (enforced at zero findings today), and library code is
+//!    screened for nondeterminism — `HashMap`/`HashSet` iteration in
+//!    result paths, wall-clock reads, thread-id/env dependence, and
+//!    float reduction folds outside the pinned kernels.
+//! 4. **A dynamic trace checker** ([`dyncheck`], `ct_dyn` binary):
 //!    every `falcon-fpr` primitive runs over fixed-vs-random secret
 //!    operand classes (dudect style) with the `ct-check` trace hooks
 //!    armed, and the recorded control-flow signatures must be
 //!    identical. The deliberately leaky [`dyncheck::fpr_mul_leaky`]
 //!    fixture must be *flagged*, proving the detector works.
 //!
-//! The lexical pass catches what never executes in a test run; the
-//! dynamic pass catches what the lexer cannot see (macro-expanded or
-//! callee-internal branches). Run both:
+//! All static findings share one content-addressed fingerprint scheme
+//! and compare against a checked-in [baseline](baseline) so CI fails
+//! only on regressions; `ct_lint --update-baseline` prints the exact
+//! added/removed diff for review. The static passes catch what never
+//! executes in a test run; the dynamic pass catches what the lexer
+//! cannot see (macro-expanded or callee-internal branches). Run all:
 //!
 //! ```text
-//! cargo run -p falcon-ct --bin ct_lint
+//! cargo run -p falcon-ct --bin ct_lint -- --baseline ct-baseline.jsonl
 //! cargo run -p falcon-ct --bin ct_dyn
+//! cargo run -p falcon-ct --bin ct_graph -- --assert-discoveries 10
 //! ```
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod baseline;
 pub mod dyncheck;
+pub mod graph;
 pub mod lint;
 pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod secret;
+pub mod summary;
 
 pub use baseline::Baseline;
+pub use graph::CallGraph;
 pub use lint::{lint_source, lint_tree, FileOutcome, Rule, TreeOutcome, Violation};
 pub use rules::CallAllowlist;
 pub use secret::Secret;
+pub use summary::TaintMap;

@@ -33,7 +33,7 @@
 //! out of release signing builds.
 
 use crate::rules::CallAllowlist;
-use crate::scan::{directive, idents, Directive, Scrubber, Tok};
+use crate::scan::{idents, stitch, Directive, Tok};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
@@ -51,6 +51,20 @@ pub enum Rule {
     SecretCall,
     /// Any `unsafe` token (workspace is `forbid(unsafe_code)`).
     UnsafeCode,
+    /// `unsafe` outside an allowlisted module or without a `// SAFETY:`
+    /// justification (the audit gate for the SIMD kernel work).
+    UnsafeAudit,
+    /// Iteration-order-dependent container in a result-affecting path.
+    DetMapIter,
+    /// Wall-clock reads (`Instant`/`SystemTime`) in library code.
+    DetWallClock,
+    /// Environment reads in library code.
+    DetEnvRead,
+    /// Thread-identity reads in library code.
+    DetThreadId,
+    /// Non-associative floating-point reduction outside the pinned
+    /// fold kernels.
+    DetFloatFold,
     /// Malformed or unbalanced `ct:` directive.
     Annotation,
 }
@@ -64,6 +78,12 @@ impl Rule {
             Rule::SecretDivMod => "secret-divmod",
             Rule::SecretCall => "secret-call",
             Rule::UnsafeCode => "unsafe-code",
+            Rule::UnsafeAudit => "unsafe-audit",
+            Rule::DetMapIter => "det-map-iter",
+            Rule::DetWallClock => "det-wall-clock",
+            Rule::DetEnvRead => "det-env-read",
+            Rule::DetThreadId => "det-thread-id",
+            Rule::DetFloatFold => "det-float-fold",
             Rule::Annotation => "annotation",
         }
     }
@@ -76,6 +96,12 @@ impl Rule {
             "secret-divmod" => Some(Rule::SecretDivMod),
             "secret-call" => Some(Rule::SecretCall),
             "unsafe-code" => Some(Rule::UnsafeCode),
+            "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "det-map-iter" => Some(Rule::DetMapIter),
+            "det-wall-clock" => Some(Rule::DetWallClock),
+            "det-env-read" => Some(Rule::DetEnvRead),
+            "det-thread-id" => Some(Rule::DetThreadId),
+            "det-float-fold" => Some(Rule::DetFloatFold),
             "annotation" => Some(Rule::Annotation),
             _ => None,
         }
@@ -161,51 +187,53 @@ pub struct TreeOutcome {
 }
 
 /// Lints one file's source text.
+///
+/// Physical lines are first joined into logical statements (see
+/// [`stitch`]): a multi-line `if` condition or a call whose arguments
+/// span lines is checked as one unit, so splitting an expression across
+/// lines cannot evade a rule.
 pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome {
-    let mut sc = Scrubber::new();
-    let mut out = FileOutcome::default();
+    let mut out = FileOutcome { lines: src.lines().count(), ..FileOutcome::default() };
     // `None` = outside any region; `Some(taint)` = inside, with the
     // current set of secret identifiers.
     let mut taint: Option<BTreeSet<String>> = None;
     let mut pending_allow = false;
 
-    for (idx, raw) in src.lines().enumerate() {
-        let line = idx + 1;
-        out.lines = line;
-        let (code, comment) = sc.scrub(raw);
-        let code_blank = code.trim().is_empty();
+    for stmt in stitch(src) {
+        let code_blank = stmt.code.trim().is_empty();
         let mut allowed = false;
 
-        match directive(&comment) {
-            Some(Directive::Secret(vars)) => {
-                if taint.is_none() {
-                    out.regions += 1;
-                    taint = Some(BTreeSet::new());
+        for (dline, d) in &stmt.directives {
+            match d {
+                Directive::Secret(vars) => {
+                    if taint.is_none() {
+                        out.regions += 1;
+                        taint = Some(BTreeSet::new());
+                    }
+                    taint.as_mut().expect("just set").extend(vars.iter().cloned());
                 }
-                taint.as_mut().expect("just set").extend(vars);
-            }
-            Some(Directive::End) if taint.is_none() => {
-                push(
-                    &mut out,
-                    file,
-                    line,
-                    raw,
-                    Rule::Annotation,
-                    "ct: end without an open secret region".into(),
-                );
-            }
-            Some(Directive::End) => taint = None,
-            Some(Directive::Allow(_)) => {
-                if code_blank {
-                    pending_allow = true;
-                } else {
-                    allowed = true;
+                Directive::End if taint.is_none() => {
+                    push(
+                        &mut out,
+                        file,
+                        *dline,
+                        &stmt.raw,
+                        Rule::Annotation,
+                        "ct: end without an open secret region".into(),
+                    );
+                }
+                Directive::End => taint = None,
+                Directive::Allow(_) => {
+                    if code_blank {
+                        pending_allow = true;
+                    } else {
+                        allowed = true;
+                    }
+                }
+                Directive::Bad(msg) => {
+                    push(&mut out, file, *dline, &stmt.raw, Rule::Annotation, msg.clone());
                 }
             }
-            Some(Directive::Bad(msg)) => {
-                push(&mut out, file, line, raw, Rule::Annotation, msg);
-            }
-            None => {}
         }
         if code_blank {
             continue;
@@ -215,26 +243,26 @@ pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome 
             pending_allow = false;
         }
 
-        let toks = idents(&code);
+        let toks = idents(&stmt.code);
         if toks.iter().any(|t| t.text == "unsafe") && !allowed {
             push(
                 &mut out,
                 file,
-                line,
-                raw,
+                stmt.line,
+                &stmt.raw,
                 Rule::UnsafeCode,
                 "unsafe code (workspace is forbid(unsafe_code))".into(),
             );
         }
 
         if let Some(set) = taint.as_mut() {
-            let skip = allowed || is_attribute(&code) || is_debug_assert(&code, &toks);
+            let skip = allowed || is_attribute(&stmt.code) || is_debug_assert(&stmt.code, &toks);
             if !skip {
-                check_line(&code, &toks, set, allow, |rule, msg| {
-                    push(&mut out, file, line, raw, rule, msg);
+                check_line(&stmt.code, &toks, set, allow, |rule, msg| {
+                    push(&mut out, file, stmt.line, &stmt.raw, rule, msg);
                 });
             }
-            propagate(&code, &toks, set);
+            propagate(&stmt.code, &toks, set);
         }
     }
 
@@ -263,19 +291,19 @@ fn push(out: &mut FileOutcome, file: &str, line: usize, raw: &str, rule: Rule, m
 }
 
 /// `#[...]` attribute lines carry no executable code.
-fn is_attribute(code: &str) -> bool {
+pub(crate) fn is_attribute(code: &str) -> bool {
     code.trim_start().starts_with('#')
 }
 
 /// Lines that are a `debug_assert!` family invocation: compiled out of
 /// release builds, so exempt from the constant-time rules.
-fn is_debug_assert(code: &str, toks: &[Tok]) -> bool {
+pub(crate) fn is_debug_assert(code: &str, toks: &[Tok]) -> bool {
     code.trim_start().starts_with("debug_assert")
         && toks.first().map(|t| t.text.starts_with("debug_assert")).unwrap_or(false)
 }
 
 /// Runs the in-region rule checks for one scrubbed line.
-fn check_line(
+pub(crate) fn check_line(
     code: &str,
     toks: &[Tok],
     taint: &BTreeSet<String>,
@@ -439,7 +467,9 @@ fn matching_bracket(chars: &[char], p: usize) -> usize {
     chars.len()
 }
 
-fn is_keyword(s: &str) -> bool {
+/// Rust keywords that can never be call targets or bindings. Shared
+/// with the call-graph extractor.
+pub(crate) fn is_keyword(s: &str) -> bool {
     matches!(
         s,
         "if" | "else"
@@ -479,7 +509,7 @@ fn is_keyword(s: &str) -> bool {
 /// binding (`let x = …`, `x = …`, `x += …`, destructuring `let (a, b)
 /// = …`) mentions a tainted identifier, the left-hand side identifiers
 /// become tainted. Taint is never removed (conservative).
-fn propagate(code: &str, toks: &[Tok], taint: &mut BTreeSet<String>) {
+pub(crate) fn propagate(code: &str, toks: &[Tok], taint: &mut BTreeSet<String>) {
     let chars: Vec<char> = code.chars().collect();
     let Some(p) = binding_eq(&chars) else { return };
     let rhs_tainted = toks.iter().any(|t| t.start > p && taint.contains(&t.text));
@@ -499,7 +529,7 @@ fn propagate(code: &str, toks: &[Tok], taint: &mut BTreeSet<String>) {
 
 /// Position of the binding `=` (plain or compound), if any: skips
 /// `==`, `!=`, `<=`, `>=` and `=>` but accepts `<<=`/`>>=`.
-fn binding_eq(chars: &[char]) -> Option<usize> {
+pub(crate) fn binding_eq(chars: &[char]) -> Option<usize> {
     for p in 0..chars.len() {
         if chars[p] != '=' {
             continue;
@@ -539,7 +569,15 @@ pub fn lint_tree(root: &Path, allow: &CallAllowlist) -> std::io::Result<TreeOutc
     Ok(out)
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+/// Collects workspace-relative `/`-separated paths of every `.rs` file
+/// under `dir`, skipping `target/` and hidden directories. Shared by the
+/// region lint, the interprocedural pass and the audit passes so all of
+/// them see the same tree.
+pub(crate) fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

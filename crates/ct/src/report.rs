@@ -9,13 +9,19 @@
 
 use crate::baseline::Baseline;
 use crate::dyncheck::{DynConfig, Outcome};
+use crate::graph::CallGraph;
 use crate::lint::{TreeOutcome, Violation};
+use crate::summary::TaintMap;
 use falcon_bench::json::Json;
+use std::collections::BTreeMap;
 
 /// Builds the `ct_lint` report document.
 ///
 /// `new` are violations absent from the baseline (CI-failing);
-/// `baselined` are grandfathered ones.
+/// `baselined` are grandfathered ones. Since v2 the outcome merges
+/// three passes — the region lint, the interprocedural taint pass and
+/// the unsafe/determinism audits — so `by_rule` breaks the totals down
+/// per rule id.
 pub fn lint_report(outcome: &TreeOutcome, baseline: &Baseline) -> Json {
     let (mut new_v, mut old_v): (Vec<&Violation>, Vec<&Violation>) = (Vec::new(), Vec::new());
     for v in &outcome.violations {
@@ -26,19 +32,78 @@ pub fn lint_report(outcome: &TreeOutcome, baseline: &Baseline) -> Json {
         }
     }
     let stale = baseline.stale(&outcome.violations);
+    let mut by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for v in &outcome.violations {
+        *by_rule.entry(v.rule.id()).or_default() += 1;
+    }
+    let mut rule_obj = Json::obj();
+    for (id, n) in by_rule {
+        rule_obj = rule_obj.field(id, n);
+    }
     Json::obj()
         .field("tool", "ct_lint")
+        .field(
+            "passes",
+            Json::Arr(
+                ["regions", "interprocedural", "unsafe-audit", "determinism"]
+                    .iter()
+                    .map(|s| Json::Str(s.to_string()))
+                    .collect(),
+            ),
+        )
         .field("files", outcome.files)
         .field("lines", outcome.lines)
         .field("regions", outcome.regions)
         .field("total_violations", outcome.violations.len())
         .field("new_violations", new_v.len())
         .field("baselined_violations", old_v.len())
+        .field("by_rule", rule_obj)
         .field("stale_baseline_entries", Json::Arr(stale.into_iter().map(Json::Str).collect()))
         .field(
             "violations",
             Json::Arr(outcome.violations.iter().map(|v| violation_json(v, baseline)).collect()),
         )
+}
+
+/// Builds the `ct_graph` report document: call-graph shape plus the
+/// taint summary of every secret-handling function. The
+/// `tainted_outside_regions` list is the pass's headline — functions
+/// the annotation discipline alone would never have checked.
+pub fn graph_report(g: &CallGraph, map: &TaintMap) -> Json {
+    let tainted: Vec<usize> =
+        (0..g.fns.len()).filter(|&i| !g.fns[i].is_test && map.summaries[i].is_tainted()).collect();
+    let outside: Vec<&str> = map.tainted_outside_regions(g);
+    let summaries: Vec<Json> = tainted
+        .iter()
+        .map(|&i| {
+            let f = &g.fns[i];
+            let s = &map.summaries[i];
+            Json::obj()
+                .field("qual", f.qual.as_str())
+                .field("file", f.file.as_str())
+                .field("line", f.line)
+                .field("module", f.module.as_str())
+                .field(
+                    "tainted_params",
+                    Json::Arr(s.tainted_params.iter().map(|p| Json::Str(p.clone())).collect()),
+                )
+                .field("returns_secret", s.returns_secret)
+                .field("has_region", f.has_region)
+                .field("cause", s.cause.as_str())
+        })
+        .collect();
+    Json::obj()
+        .field("tool", "ct_graph")
+        .field("functions", g.fns.len())
+        .field("call_sites", g.calls.len())
+        .field("fixpoint_rounds", map.rounds)
+        .field("tainted_functions", tainted.len())
+        .field("tainted_outside_regions", outside.len())
+        .field(
+            "tainted_outside_region_names",
+            Json::Arr(outside.iter().map(|s| Json::Str(s.to_string())).collect()),
+        )
+        .field("summaries", Json::Arr(summaries))
 }
 
 fn violation_json(v: &Violation, baseline: &Baseline) -> Json {

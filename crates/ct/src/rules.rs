@@ -21,6 +21,20 @@
 
 use std::collections::BTreeSet;
 
+/// Types whose presence in a parameter or return type seeds the
+/// interprocedural taint analysis, no annotation required: the secrecy
+/// wrapper itself, the private key (f/g/F/G, Gram basis, FFT'd halves,
+/// LDL tree), and the LDL tree the ffSampling recursion walks.
+pub const SECRET_SEED_TYPES: &[&str] = &["LdlTree", "Secret", "SigningKey"];
+
+/// Module path prefixes (workspace-relative, `/`-separated) where
+/// `unsafe` blocks are permitted — the explicit-SIMD kernels planned by
+/// ROADMAP Open item 1. Everything else is `#![forbid(unsafe_code)]`
+/// and the unsafe-audit pass enforces that even for code the compiler
+/// has not seen (cfg'd-out targets). Every allowed block must still
+/// carry a `// SAFETY:` comment within the three lines above it.
+pub const UNSAFE_ALLOWED_MODULES: &[&str] = &["crates/core/src/cpa/simd", "crates/fpr/src/simd"];
+
 /// Names allowed in calls on secret-tainted lines. Kept sorted.
 pub const DEFAULT_CALL_ALLOWLIST: &[&str] = &[
     // -- tier 1: core integer/bit primitives ---------------------------

@@ -13,6 +13,21 @@
 pub struct Scrubber {
     /// Nesting depth of `/* */` comments carried across lines.
     block_depth: usize,
+    /// String literal left open at the end of the previous line, if
+    /// any; multi-line literals (test fixtures especially) must not
+    /// leak their contents into the code stream.
+    open_str: StrTail,
+}
+
+/// The terminator a multi-line string literal is waiting for.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum StrTail {
+    #[default]
+    None,
+    /// Inside `"…"`: scanning for an unescaped `"`.
+    Plain,
+    /// Inside `r"…"`/`r#"…"#`: scanning for `"` followed by n `#`s.
+    Raw(usize),
 }
 
 impl Scrubber {
@@ -34,6 +49,32 @@ impl Scrubber {
         let mut comment = String::new();
         let mut i = 0;
         while i < chars.len() {
+            match self.open_str {
+                StrTail::Plain => {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            self.open_str = StrTail::None;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                    continue;
+                }
+                StrTail::Raw(hashes) => {
+                    if chars[i] == '"'
+                        && chars[i + 1..].iter().take(hashes).filter(|&&c| c == '#').count()
+                            == hashes
+                    {
+                        self.open_str = StrTail::None;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                    continue;
+                }
+                StrTail::None => {}
+            }
             if self.block_depth > 0 {
                 if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
                     self.block_depth -= 1;
@@ -58,15 +99,27 @@ impl Scrubber {
                 }
                 '"' => {
                     code.push_str("\"\"");
-                    i = skip_string(&chars, i + 1);
+                    match skip_string(&chars, i + 1) {
+                        Some(end) => i = end,
+                        None => {
+                            self.open_str = StrTail::Plain;
+                            i = chars.len();
+                        }
+                    }
                 }
                 '\'' => {
                     i = self.scrub_quote(&chars, i, &mut code);
                 }
                 c if c.is_alphanumeric() || c == '_' => {
-                    if let Some(end) = raw_string_end(&chars, i) {
+                    if let Some(raw) = raw_string_end(&chars, i) {
                         code.push_str("\"\"");
-                        i = end;
+                        match raw {
+                            RawStr::Closed(end) => i = end,
+                            RawStr::Open { hashes } => {
+                                self.open_str = StrTail::Raw(hashes);
+                                i = chars.len();
+                            }
+                        }
                     } else {
                         while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                             code.push(chars[i]);
@@ -110,20 +163,28 @@ impl Scrubber {
 
 /// Scans past a (single-line) string literal starting after the opening
 /// quote; returns the index after the closing quote.
-fn skip_string(chars: &[char], mut i: usize) -> usize {
+fn skip_string(chars: &[char], mut i: usize) -> Option<usize> {
     while i < chars.len() {
         match chars[i] {
             '\\' => i += 2,
-            '"' => return i + 1,
+            '"' => return Some(i + 1),
             _ => i += 1,
         }
     }
-    i
+    None
+}
+
+/// Where a raw string literal ends.
+enum RawStr {
+    /// Closed on this line; the index just past the terminator.
+    Closed(usize),
+    /// Continues onto the next line; the terminator's hash count.
+    Open { hashes: usize },
 }
 
 /// If the identifier starting at `i` opens a raw string (`r"…"`,
-/// `r#"…"#`, `br"…"`), returns the index just past it.
-fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
+/// `r#"…"#`, `br"…"`), returns where it ends.
+fn raw_string_end(chars: &[char], i: usize) -> Option<RawStr> {
     let mut j = i;
     if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
         j += 1;
@@ -145,11 +206,11 @@ fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
         if chars[j] == '"'
             && chars[j + 1..].iter().take(hashes).filter(|&&c| c == '#').count() == hashes
         {
-            return Some(j + 1 + hashes);
+            return Some(RawStr::Closed(j + 1 + hashes));
         }
         j += 1;
     }
-    Some(j)
+    Some(RawStr::Open { hashes })
 }
 
 /// An identifier (or keyword) token with its char-index span in the
@@ -243,6 +304,159 @@ fn is_ident(s: &str) -> bool {
         && cs.all(|c| c.is_alphanumeric() || c == '_')
 }
 
+/// One logical statement: one or more physical source lines joined
+/// until the expression is syntactically complete.
+///
+/// Rust statements routinely span lines (rustfmt breaks long
+/// conditions before operators and long call argument lists inside the
+/// parentheses), and a line-at-a-time lint silently misses, say, a
+/// secret-guarded `if` whose condition sits on its own line. The
+/// stitcher rejoins such statements so the rule checks see the whole
+/// expression; see [`stitch`] for the joining heuristics.
+#[derive(Debug, Clone, Default)]
+pub struct Stmt {
+    /// 1-based number of the first physical line.
+    pub line: usize,
+    /// Scrubbed code of all physical lines, joined with single spaces.
+    pub code: String,
+    /// Raw source of all physical lines, trimmed and joined with single
+    /// spaces (used for violation snippets and fingerprints).
+    pub raw: String,
+    /// Directives found on this statement's physical lines, with their
+    /// line numbers, in order.
+    pub directives: Vec<(usize, Directive)>,
+    /// Physical lines joined into this statement.
+    pub span: usize,
+}
+
+/// Upper bound on physical lines joined into one statement; beyond it
+/// the stitcher force-flushes so a scrub confusion (e.g. an unclosed
+/// multi-line literal) cannot swallow a whole file into one statement.
+const MAX_STITCH: usize = 24;
+
+/// Splits source text into logical statements (plus standalone
+/// directive records carried by empty-code [`Stmt`]s).
+///
+/// A physical line is joined with its successor when any of these hold:
+///
+/// * parenthesis/bracket depth is still open at the end of the line
+///   (an argument list or index expression continues);
+/// * the line ends with a binary/assignment operator, a `::`/`.` path
+///   or method chain, or a statement-introducing keyword (`if`,
+///   `while`, `match`, `for`, `in`, `else`, `return`) — the expression
+///   cannot be complete;
+/// * the next line *begins* with an operator or `.`/`?` chain — the
+///   rustfmt style of breaking before `&&`, `+`, `.method()`.
+///
+/// Lines ending in `;`, `{` or `}` always terminate a statement (brace
+/// depth is intentionally not tracked: a block opener is a boundary, so
+/// `if cond {` and its body lines are separate statements, exactly like
+/// the single-line lint saw them).
+pub fn stitch(src: &str) -> Vec<Stmt> {
+    let mut sc = Scrubber::new();
+    let mut scrubbed: Vec<(usize, String, String, String)> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let (code, comment) = sc.scrub(raw);
+        scrubbed.push((idx + 1, code, comment, raw.to_string()));
+    }
+
+    let mut out: Vec<Stmt> = Vec::new();
+    let mut cur = Stmt::default();
+    let mut depth = 0usize; // parens + square brackets across joined lines
+
+    let flush = |cur: &mut Stmt, out: &mut Vec<Stmt>| {
+        if cur.line != 0 {
+            out.push(std::mem::take(cur));
+        }
+    };
+
+    for i in 0..scrubbed.len() {
+        let (line, code, comment, raw) = &scrubbed[i];
+        let trimmed = code.trim();
+        let directive = directive(comment);
+
+        if trimmed.is_empty() && depth == 0 && cur.line == 0 {
+            // Blank or comment-only line outside any statement: emit a
+            // standalone record when it carries a directive.
+            if let Some(d) = directive {
+                out.push(Stmt {
+                    line: *line,
+                    code: String::new(),
+                    raw: raw.trim().to_string(),
+                    directives: vec![(*line, d)],
+                    span: 1,
+                });
+            }
+            continue;
+        }
+
+        // Append this physical line to the current statement.
+        if cur.line == 0 {
+            cur.line = *line;
+        }
+        if !cur.code.is_empty() && !trimmed.is_empty() {
+            cur.code.push(' ');
+        }
+        cur.code.push_str(trimmed);
+        if !cur.raw.is_empty() && !raw.trim().is_empty() {
+            cur.raw.push(' ');
+        }
+        cur.raw.push_str(raw.trim());
+        if let Some(d) = directive {
+            cur.directives.push((*line, d));
+        }
+        cur.span += 1;
+        for c in trimmed.chars() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+
+        let next_code = scrubbed.get(i + 1).map(|(_, c, _, _)| c.trim()).unwrap_or("");
+        let joins = depth > 0
+            || (cur.span < MAX_STITCH
+                && !ends_statement(trimmed)
+                && (continues_after(trimmed) || continues_before(next_code)));
+        if !joins || cur.span >= MAX_STITCH {
+            depth = 0;
+            flush(&mut cur, &mut out);
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+/// Lines ending in `;`, `{` or `}` are complete statements regardless of
+/// the operator heuristics.
+fn ends_statement(code: &str) -> bool {
+    matches!(code.chars().next_back(), Some(';' | '{' | '}'))
+}
+
+/// Whether a line's scrubbed code ends mid-expression: a trailing
+/// binary/assignment operator, path separator, or an expression-opening
+/// keyword.
+fn continues_after(code: &str) -> bool {
+    if matches!(
+        code.chars().next_back(),
+        Some('=' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '.' | ':' | '?')
+    ) {
+        return true;
+    }
+    let last_word = code.rsplit(|c: char| !(c.is_alphanumeric() || c == '_')).next().unwrap_or("");
+    matches!(last_word, "if" | "while" | "match" | "for" | "in" | "else" | "return")
+}
+
+/// Whether the next line's scrubbed code begins mid-expression (the
+/// rustfmt break-before-operator style: `&& cond`, `.method()`, `+ x`).
+fn continues_before(code: &str) -> bool {
+    matches!(
+        code.chars().next(),
+        Some('.' | '?' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '=' | ':')
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +487,29 @@ mod tests {
         assert!(c1.contains("let a"));
         assert!(!c2.contains("still"));
         assert!(c2.contains("let b"));
+    }
+
+    #[test]
+    fn multiline_string_contents_are_blanked() {
+        let mut sc = Scrubber::new();
+        let (c1, _) = sc.scrub("let src = \"\\");
+        assert!(c1.contains("\"\""), "{c1}");
+        let (c2, _) = sc.scrub("unsafe { secret[idx] } Instant::now()\\");
+        assert_eq!(c2, "", "{c2}");
+        let (c3, _) = sc.scrub("done\"; let x = 1;");
+        assert!(!c3.contains("done"), "{c3}");
+        assert!(c3.contains("let x = 1"), "{c3}");
+    }
+
+    #[test]
+    fn multiline_raw_string_contents_are_blanked() {
+        let mut sc = Scrubber::new();
+        let (c1, _) = sc.scrub("let src = r#\"");
+        assert!(c1.contains("\"\""), "{c1}");
+        let (c2, _) = sc.scrub("if secret { leak(); } \" not the end");
+        assert_eq!(c2, "", "{c2}");
+        let (c3, _) = sc.scrub("\"#; let y = 2;");
+        assert!(c3.contains("let y = 2"), "{c3}");
     }
 
     #[test]

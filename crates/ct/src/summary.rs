@@ -1,0 +1,624 @@
+//! Per-function taint summaries and interprocedural propagation.
+//!
+//! Taint enters the system three ways:
+//!
+//! * **Type seeds** — a parameter or return type mentioning one of
+//!   [`crate::rules::SECRET_SEED_TYPES`] (`Secret<T>`, the private-key
+//!   types, the LDL tree the sampler walks) marks that parameter or the
+//!   return value secret, no annotation needed.
+//! * **Region annotations** — inside a `// ct: secret(a, b)` region the
+//!   named identifiers are secret; when they coincide with parameter
+//!   names the parameter is marked in the summary, so *callers* of an
+//!   annotated function learn about its appetite for secrets.
+//! * **Propagation** — a tainted identifier in a call's argument list
+//!   taints the positionally matching callee parameter (all of them on
+//!   arity mismatch); a tainted method receiver taints the callee's
+//!   `self`; a free or `Type::`-qualified call to a `returns_secret`
+//!   function taints the binding it is assigned to; a `return` (or
+//!   trailing expression) mentioning local taint sets `returns_secret`
+//!   on the enclosing function. Calls cross the graph only when
+//!   resolution is unambiguous — see [`calls_in`] for the policy.
+//!
+//! Summaries are computed to a fixpoint, then a reporting pass replays
+//! each tainted function's body with the *same* rule checks the region
+//! lint uses (`secret-branch`, `secret-index`, `secret-divmod`,
+//! `secret-call`) — statements inside explicit `ct: secret` regions are
+//! skipped there, because [`crate::lint::lint_source`] already checks
+//! them and double-reporting would double the baseline.
+
+use crate::graph::CallGraph;
+use crate::lint::{self, Violation};
+use crate::rules::{CallAllowlist, SECRET_SEED_TYPES};
+use crate::scan::{idents, Directive, Tok};
+use std::collections::BTreeSet;
+
+/// Taint summary of one function (parallel to [`CallGraph::fns`]).
+#[derive(Debug, Clone, Default)]
+pub struct TaintSummary {
+    /// Names of parameters considered secret-bearing.
+    pub tainted_params: BTreeSet<String>,
+    /// Whether the return value carries secrets.
+    pub returns_secret: bool,
+    /// Why the function first became tainted (seed type, region, or the
+    /// qualified name of the caller/callee that propagated into it).
+    pub cause: String,
+}
+
+impl TaintSummary {
+    /// Whether the function handles secrets at all.
+    pub fn is_tainted(&self) -> bool {
+        !self.tainted_params.is_empty() || self.returns_secret
+    }
+}
+
+/// Summaries for a whole call graph.
+#[derive(Debug)]
+pub struct TaintMap {
+    /// One summary per [`CallGraph::fns`] entry.
+    pub summaries: Vec<TaintSummary>,
+    /// Fixpoint iterations used (diagnostic; bounded by
+    /// [`TaintMap::MAX_ROUNDS`]).
+    pub rounds: usize,
+}
+
+/// Whether a scrubbed type text mentions a seed type as a whole token.
+fn mentions_seed(ty: &str) -> bool {
+    idents(ty).iter().any(|t| SECRET_SEED_TYPES.contains(&t.text.as_str()))
+}
+
+impl TaintMap {
+    /// Fixpoint iteration bound; the call graph is shallow (longest
+    /// realistic chain: sign → ffsampling → sampler → fpr ≈ 6 edges),
+    /// so hitting this indicates a cycle that has already saturated.
+    pub const MAX_ROUNDS: usize = 32;
+
+    /// Computes summaries for `g` to a fixpoint.
+    pub fn compute(g: &CallGraph) -> TaintMap {
+        let mut sums: Vec<TaintSummary> = vec![TaintSummary::default(); g.fns.len()];
+
+        // -- seeding ----------------------------------------------------
+        for (i, f) in g.fns.iter().enumerate() {
+            for p in &f.params {
+                if mentions_seed(&p.ty) {
+                    sums[i].tainted_params.insert(p.name.clone());
+                    if sums[i].cause.is_empty() {
+                        sums[i].cause = format!("param `{}: {}` is a seed type", p.name, p.ty);
+                    }
+                }
+            }
+            if mentions_seed(&f.ret) {
+                sums[i].returns_secret = true;
+                if sums[i].cause.is_empty() {
+                    sums[i].cause = format!("returns seed type `{}`", f.ret);
+                }
+            }
+            // Region-declared secrets that name parameters.
+            if f.has_region {
+                let param_names: BTreeSet<&str> =
+                    f.params.iter().map(|p| p.name.as_str()).collect();
+                for si in body_stmt_indices(g, i) {
+                    let stmt = &g.files[g.body_stmts[i].0].stmts[si];
+                    for (_, d) in &stmt.directives {
+                        if let Directive::Secret(vars) = d {
+                            for v in vars {
+                                if param_names.contains(v.as_str())
+                                    && sums[i].tainted_params.insert(v.clone())
+                                    && sums[i].cause.is_empty()
+                                {
+                                    sums[i].cause =
+                                        format!("`ct: secret({v})` region names a parameter");
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // -- fixpoint ---------------------------------------------------
+        let mut rounds = 0;
+        for _ in 0..Self::MAX_ROUNDS {
+            rounds += 1;
+            let mut changed = false;
+            for i in 0..g.fns.len() {
+                if g.fns[i].is_test {
+                    continue;
+                }
+                changed |= propagate_one(g, i, &mut sums);
+            }
+            if !changed {
+                break;
+            }
+        }
+        TaintMap { summaries: sums, rounds }
+    }
+
+    /// Qualified names of tainted non-test functions that have no
+    /// `ct: secret` region of their own — the functions the annotation
+    /// discipline alone would have missed.
+    pub fn tainted_outside_regions<'g>(&self, g: &'g CallGraph) -> Vec<&'g str> {
+        g.fns
+            .iter()
+            .enumerate()
+            .filter(|(i, f)| !f.is_test && !f.has_region && self.summaries[*i].is_tainted())
+            .map(|(_, f)| f.qual.as_str())
+            .collect()
+    }
+}
+
+/// Indices into the owning file's statement list for fn `i`'s body.
+fn body_stmt_indices(g: &CallGraph, i: usize) -> Vec<usize> {
+    g.body_stmts[i].1.clone()
+}
+
+/// One propagation round over fn `i`'s body. Returns whether any
+/// summary (its own or a callee's) changed.
+fn propagate_one(g: &CallGraph, i: usize, sums: &mut [TaintSummary]) -> bool {
+    if !sums[i].is_tainted() && !g.fns[i].has_region {
+        return false;
+    }
+    let mut changed = false;
+    let mut local: BTreeSet<String> = sums[i].tainted_params.iter().cloned().collect();
+    let (file_idx, stmt_idxs) = (g.body_stmts[i].0, g.body_stmts[i].1.clone());
+    // The function's trailing expression is the last statement that is
+    // not a bare closing brace (the `}` that ends the body is itself a
+    // statement).
+    let last_expr =
+        stmt_idxs.iter().rposition(|&si| g.files[file_idx].stmts[si].code.trim() != "}");
+
+    for (k, si) in stmt_idxs.iter().enumerate() {
+        let stmt = &g.files[file_idx].stmts[*si];
+        let code = stmt.code.trim();
+        if code.is_empty() || lint::is_attribute(code) {
+            // Region directives still extend the local taint set.
+            for (_, d) in &stmt.directives {
+                if let Directive::Secret(vars) = d {
+                    local.extend(vars.iter().cloned());
+                }
+            }
+            continue;
+        }
+        for (_, d) in &stmt.directives {
+            if let Directive::Secret(vars) = d {
+                local.extend(vars.iter().cloned());
+            }
+        }
+        let toks = idents(code);
+        let chars: Vec<char> = code.chars().collect();
+
+        let sites = calls_in(stmt, g);
+
+        // Callee-return taint: a binding whose right side calls a
+        // returns_secret function taints its left side. Method-syntax
+        // sites are excluded — their real flows (`let c = sk.coeff(0)`)
+        // already taint the binding because the receiver is mentioned
+        // on the right-hand side, and a bare-name method binding would
+        // otherwise poison every `.len()`-shaped call in the tree.
+        if let Some(eq) = lint::binding_eq(&chars) {
+            let rhs_secret_call = sites
+                .iter()
+                .filter(|s| s.tok_start > eq && s.kind != CallKind::Method)
+                .any(|s| s.cands.iter().any(|&c| sums[c].returns_secret));
+            if rhs_secret_call {
+                for t in &toks {
+                    if t.start < eq
+                        && !lint::is_keyword(&t.text)
+                        && !t.text.starts_with(char::is_uppercase)
+                        && t.text != "_"
+                    {
+                        local.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+
+        // Intra-statement binding propagation.
+        lint::propagate(code, &toks, &mut local);
+
+        // Call-argument taint: a tainted identifier inside a call's
+        // argument list (matched to the callee parameter by position
+        // when arities line up, all parameters otherwise) or a tainted
+        // method-call receiver taints the corresponding callee params.
+        for site in &sites {
+            for &c in &site.cands {
+                if g.fns[c].is_test {
+                    continue;
+                }
+                let hit = tainted_callee_params(&chars, &toks, site.tok_start, &local, &g.fns[c]);
+                for p in hit {
+                    if sums[c].tainted_params.insert(p) {
+                        changed = true;
+                        if sums[c].cause.is_empty() {
+                            sums[c].cause = format!("receives secrets from `{}`", g.fns[i].qual);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Return taint: `return expr` or the trailing expression of a
+        // value-returning function mentioning local taint.
+        let returnish = toks.first().map(|t| t.text == "return").unwrap_or(false)
+            || (Some(k) == last_expr && !g.fns[i].ret.is_empty() && !code.ends_with(';'));
+        if returnish
+            && !sums[i].returns_secret
+            && !g.fns[i].ret.is_empty()
+            && toks.iter().any(|t| local.contains(&t.text))
+        {
+            sums[i].returns_secret = true;
+            changed = true;
+            if sums[i].cause.is_empty() {
+                sums[i].cause = "returns a locally tainted value".to_string();
+            }
+        }
+    }
+    changed
+}
+
+/// How a call site was written, which governs how aggressively taint
+/// may cross it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallKind {
+    /// `helper(x)` — free function.
+    Free,
+    /// `Type::method(x)` — explicit impl qualifier.
+    Qualified,
+    /// `expr.method(x)` — receiver type unknown to the lexer.
+    Method,
+}
+
+/// A resolved call site inside one statement.
+struct ResolvedCall {
+    /// Char index of the callee name token.
+    tok_start: usize,
+    kind: CallKind,
+    /// Candidate callee indices, already narrowed by the propagation
+    /// policy (see [`calls_in`]); empty sites are dropped.
+    cands: Vec<usize>,
+}
+
+/// Call sites in a statement, resolved under the propagation policy:
+///
+/// * **Qualified** calls bind to the exact `Type::name` match only.
+/// * **Free** and **method** calls bind only when the bare name is
+///   *unique* in the workspace — an ambiguous homonym (`add` on both
+///   `Fpr` and `Counter`, `record` on three observer types) is dropped
+///   rather than over-connected, because binding a `.len()` on a `Vec`
+///   to some workspace type's `len` would cascade taint through every
+///   caller in the tree. The region annotations on the core arithmetic
+///   cover the flows this deliberately forgoes; DESIGN.md records the
+///   trade.
+///
+/// Self-calls are kept (recursion saturates harmlessly).
+fn calls_in(stmt: &crate::scan::Stmt, g: &CallGraph) -> Vec<ResolvedCall> {
+    let code = stmt.code.trim();
+    let chars: Vec<char> = code.chars().collect();
+    let toks = idents(code);
+    let mut out = Vec::new();
+    for (ti, t) in toks.iter().enumerate() {
+        if lint::is_keyword(&t.text) || t.text.starts_with(char::is_uppercase) {
+            continue;
+        }
+        let mut j = t.end;
+        while chars.get(j) == Some(&' ') {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'!') || chars.get(j) != Some(&'(') {
+            continue;
+        }
+        let recv = ti
+            .checked_sub(1)
+            .and_then(|p| toks.get(p))
+            .filter(|prev| {
+                prev.text.starts_with(char::is_uppercase)
+                    && chars.get(prev.end..t.start).map(|s| s.iter().collect::<String>())
+                        == Some("::".to_string())
+            })
+            .map(|prev| prev.text.clone());
+        let kind = if recv.is_some() {
+            CallKind::Qualified
+        } else if t.start > 0 && chars.get(t.start - 1) == Some(&'.') {
+            CallKind::Method
+        } else {
+            CallKind::Free
+        };
+        let cands: Vec<usize> = match (&recv, kind) {
+            (Some(r), _) => {
+                let qual = format!("{r}::{}", t.text);
+                g.resolve(&t.text).filter(|&i| g.fns[i].qual == qual).collect()
+            }
+            (None, _) => {
+                let all: Vec<usize> = g.resolve(&t.text).collect();
+                if all.len() == 1 {
+                    all
+                } else {
+                    Vec::new()
+                }
+            }
+        };
+        if !cands.is_empty() {
+            out.push(ResolvedCall { tok_start: t.start, kind, cands });
+        }
+    }
+    out
+}
+
+/// Which of `callee`'s parameter names receive taint at the call whose
+/// name token starts at `tok_start`.
+///
+/// The argument span is split on top-level commas and matched to the
+/// parameter list by position (skipping the `self` receiver for
+/// `.method(…)` syntax); a tainted method receiver taints `self`. When
+/// the arities do not line up (closures, macros between, re-exports the
+/// graph cannot see), every parameter is tainted if *any* argument is —
+/// conservative over-taint rather than a silent miss.
+fn tainted_callee_params(
+    chars: &[char],
+    toks: &[Tok],
+    tok_start: usize,
+    local: &BTreeSet<String>,
+    callee: &crate::graph::FnInfo,
+) -> Vec<String> {
+    // Locate the opening paren after the name token.
+    let name_end = toks.iter().find(|t| t.start == tok_start).map(|t| t.end).unwrap_or(tok_start);
+    let mut open = name_end;
+    while chars.get(open) == Some(&' ') {
+        open += 1;
+    }
+    if chars.get(open) != Some(&'(') {
+        return Vec::new();
+    }
+    let mut depth = 0usize;
+    let mut close = chars.len();
+    for (j, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Top-level comma split of the argument span into char ranges.
+    let mut arg_spans: Vec<(usize, usize)> = Vec::new();
+    let mut lo = open + 1;
+    let mut d = 0i32;
+    for (j, &c) in chars.iter().enumerate().take(close).skip(open + 1) {
+        match c {
+            '(' | '[' => d += 1,
+            ')' | ']' => d -= 1,
+            ',' if d == 0 => {
+                arg_spans.push((lo, j));
+                lo = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if lo < close {
+        arg_spans.push((lo, close));
+    }
+    let arg_tainted: Vec<bool> = arg_spans
+        .iter()
+        .map(|&(a, b)| toks.iter().any(|t| t.start >= a && t.end <= b && local.contains(&t.text)))
+        .collect();
+
+    let method_syntax = tok_start > 0 && chars.get(tok_start - 1) == Some(&'.');
+    let recv_tainted =
+        method_syntax && toks.iter().any(|t| t.end < tok_start && local.contains(&t.text));
+
+    let mut out = Vec::new();
+    let params = &callee.params;
+    let has_self = params.first().map(|p| p.name == "self").unwrap_or(false);
+    if recv_tainted && has_self {
+        out.push("self".to_string());
+    }
+    let positional: &[crate::graph::Param] =
+        if method_syntax && has_self { &params[1..] } else { params };
+    if positional.len() == arg_tainted.len() {
+        for (p, &t) in positional.iter().zip(&arg_tainted) {
+            if t {
+                out.push(p.name.clone());
+            }
+        }
+    } else if arg_tainted.iter().any(|&t| t) || recv_tainted {
+        // Arity mismatch: conservative.
+        for p in params {
+            if !out.contains(&p.name) {
+                out.push(p.name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The interprocedural reporting pass: replays every tainted, non-test
+/// function body through the region lint's rule checks, seeding taint
+/// from the function's summary instead of an annotation. Statements
+/// inside explicit `ct: secret` regions are skipped (the region lint
+/// owns them); `// ct: allow(reason)` works exactly as in the lint.
+pub fn taint_violations(g: &CallGraph, map: &TaintMap, allow: &CallAllowlist) -> Vec<Violation> {
+    let mut out: Vec<Violation> = Vec::new();
+    for (i, f) in g.fns.iter().enumerate() {
+        if f.is_test || !map.summaries[i].is_tainted() {
+            continue;
+        }
+        let mut local: BTreeSet<String> = map.summaries[i].tainted_params.iter().cloned().collect();
+        if local.is_empty() {
+            // Only the return is secret: nothing to track in the body.
+            continue;
+        }
+        let (file_idx, stmt_idxs) = (g.body_stmts[i].0, &g.body_stmts[i].1);
+        let mut in_region = false;
+        let mut pending_allow = false;
+        for si in stmt_idxs {
+            let stmt = &g.files[file_idx].stmts[*si];
+            let code = stmt.code.trim();
+            let mut allowed = false;
+            for (_, d) in &stmt.directives {
+                match d {
+                    Directive::Secret(vars) => {
+                        in_region = true;
+                        local.extend(vars.iter().cloned());
+                    }
+                    Directive::End => in_region = false,
+                    Directive::Allow(_) => {
+                        if code.is_empty() {
+                            pending_allow = true;
+                        } else {
+                            allowed = true;
+                        }
+                    }
+                    Directive::Bad(_) => {} // lint reports these
+                }
+            }
+            if code.is_empty() {
+                continue;
+            }
+            if pending_allow {
+                allowed = true;
+                pending_allow = false;
+            }
+            let toks = idents(code);
+            let skip = in_region
+                || allowed
+                || lint::is_attribute(code)
+                || lint::is_debug_assert(code, &toks);
+            if !skip {
+                lint::check_line(code, &toks, &local, allow, |rule, msg| {
+                    out.push(Violation {
+                        file: f.file.clone(),
+                        line: stmt.line,
+                        rule,
+                        message: format!("[interprocedural, via {}] {msg}", f.qual),
+                        snippet: stmt.raw.trim().to_string(),
+                    });
+                });
+            }
+            lint::propagate(code, &toks, &mut local);
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup_by(|a, b| a.fingerprint() == b.fingerprint());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::Rule;
+
+    const SRC: &str = "\
+pub struct SigningKey { f: Vec<i64> }
+
+impl SigningKey {
+    pub fn coeff(&self, i: usize) -> i64 {
+        self.f[i]
+    }
+}
+
+pub fn norm(sk: &SigningKey) -> i64 {
+    let c = sk.coeff(0);
+    helper(c)
+}
+
+fn helper(v: i64) -> i64 {
+    if v > 0 {
+        return v;
+    }
+    -v
+}
+
+pub fn public_len(xs: &[u8]) -> usize {
+    xs.len()
+}
+";
+
+    fn build() -> (CallGraph, TaintMap) {
+        let g = CallGraph::from_sources(&[("crates/x/src/k.rs", SRC)]);
+        let m = TaintMap::compute(&g);
+        (g, m)
+    }
+
+    #[test]
+    fn seed_types_taint_params_and_returns() {
+        let (g, m) = build();
+        let norm = g.fns.iter().position(|f| f.qual == "norm").unwrap();
+        assert!(m.summaries[norm].tainted_params.contains("sk"), "{:?}", m.summaries[norm]);
+        let coeff = g.fns.iter().position(|f| f.qual == "SigningKey::coeff").unwrap();
+        assert!(m.summaries[coeff].tainted_params.contains("self"));
+    }
+
+    #[test]
+    fn taint_flows_through_calls_and_returns() {
+        let (g, m) = build();
+        // `coeff` returns self-derived data → returns_secret; the
+        // binding `c` in `norm` becomes tainted; `helper(c)` taints
+        // helper's param; helper returns taint.
+        let coeff = g.fns.iter().position(|f| f.qual == "SigningKey::coeff").unwrap();
+        assert!(m.summaries[coeff].returns_secret, "{:?}", m.summaries[coeff]);
+        let helper = g.fns.iter().position(|f| f.qual == "helper").unwrap();
+        assert!(m.summaries[helper].tainted_params.contains("v"));
+        assert!(m.summaries[helper].returns_secret);
+    }
+
+    #[test]
+    fn public_functions_stay_clean() {
+        let (g, m) = build();
+        let pl = g.fns.iter().position(|f| f.qual == "public_len").unwrap();
+        assert!(!m.summaries[pl].is_tainted(), "{:?}", m.summaries[pl]);
+    }
+
+    #[test]
+    fn violations_fire_outside_annotated_regions() {
+        let (g, m) = build();
+        let v = taint_violations(&g, &m, &CallAllowlist::workspace_default());
+        // helper's `if v > 0` is a secret branch; coeff's `self.f[i]`
+        // is NOT flagged (public index into a secret base is fine).
+        assert!(
+            v.iter().any(|x| x.rule == Rule::SecretBranch && x.snippet.contains("if v > 0")),
+            "{v:?}"
+        );
+        assert!(!v.iter().any(|x| x.rule == Rule::SecretIndex), "{v:?}");
+    }
+
+    #[test]
+    fn tainted_outside_regions_lists_discoveries() {
+        let (g, m) = build();
+        let names = m.tainted_outside_regions(&g);
+        assert!(names.contains(&"helper"), "{names:?}");
+        assert!(names.contains(&"norm"), "{names:?}");
+        assert!(!names.contains(&"public_len"), "{names:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_interprocedural_findings() {
+        let src = "\
+pub fn leak(sk: &SigningKey) -> u32 {
+    if sk.bits() > 0 {
+        // ct: allow(specified behaviour: reject invalid keys)
+        return 1;
+    }
+    0
+}
+pub struct SigningKey;
+impl SigningKey {
+    pub fn bits(&self) -> u32 {
+        0
+    }
+}
+";
+        let g = CallGraph::from_sources(&[("crates/x/src/a.rs", src)]);
+        let m = TaintMap::compute(&g);
+        let v = taint_violations(&g, &m, &CallAllowlist::workspace_default());
+        // The secret branch on `sk` still fires (the allow is on the
+        // return statement, not the branch)…
+        assert!(v.iter().any(|x| x.rule == Rule::SecretBranch), "{v:?}");
+        // …but nothing is reported at the allowed line.
+        assert!(!v.iter().any(|x| x.snippet.starts_with("return 1")), "{v:?}");
+    }
+}

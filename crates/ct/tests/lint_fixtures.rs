@@ -7,6 +7,10 @@
 
 use falcon_ct::{lint_source, CallAllowlist, Rule};
 
+fn audit_rules_of(src: &str) -> Vec<Rule> {
+    falcon_ct::audit::audit_source("crates/x/src/fixture.rs", src).iter().map(|v| v.rule).collect()
+}
+
 fn rules_of(src: &str) -> Vec<Rule> {
     let out = lint_source("fixture.rs", src, &CallAllowlist::workspace_default());
     out.violations.iter().map(|v| v.rule).collect()
@@ -104,6 +108,77 @@ fn allow_suppresses_one_line() {
     // Standalone form applies to the next code line only.
     let s = "// ct: secret(x)\n// ct: allow(documented rejection)\nif x > 0 { }\nif x < 0 { }\n// ct: end\n";
     assert_eq!(rules_of(s), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn multiline_statement_is_scanned_as_one() {
+    // Regression for the pre-v2 scanner, which checked physical lines:
+    // a condition split across lines hid the secret comparison from the
+    // branch rule because `if (` and `key > 0` never met.
+    let src = "\
+// ct: secret(key)
+if (flag
+    && key > 0)
+{
+    x = 1;
+}
+// ct: end
+";
+    let rules = rules_of(src);
+    assert!(rules.contains(&Rule::SecretBranch), "{rules:?}");
+
+    // A multi-line binding chain still propagates taint into the branch.
+    let chained = "\
+// ct: secret(k)
+let y = k
+    + offset;
+if y > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(chained), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn planted_map_iteration_fixture_is_flagged() {
+    // The deliberately wrong pattern the determinism lint exists for:
+    // iterating a randomised-order map while building a result.
+    let src = "\
+fn tally(hits: HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, _) in hits.iter() {
+        out.push(k.clone());
+    }
+    out
+}
+";
+    let rules = audit_rules_of(src);
+    assert!(rules.contains(&Rule::DetMapIter), "{rules:?}");
+
+    // The ordered rewrite is quiet.
+    let fixed = src.replace("HashMap", "BTreeMap");
+    assert!(!audit_rules_of(&fixed).contains(&Rule::DetMapIter));
+}
+
+#[test]
+fn planted_unsafe_without_safety_comment_is_flagged() {
+    // In an allowlisted SIMD module, `unsafe` is admitted only with a
+    // `// SAFETY:` justification directly above.
+    let bare = "fn load(p: *const f64) -> f64 {\n    unsafe { *p }\n}\n";
+    let v = falcon_ct::audit::audit_source("crates/fpr/src/simd/mod.rs", bare);
+    assert!(v.iter().any(|x| x.rule == Rule::UnsafeAudit), "{v:?}");
+
+    let justified = "\
+fn load(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees p is aligned and in-bounds.
+    unsafe { *p }
+}
+";
+    let v = falcon_ct::audit::audit_source("crates/fpr/src/simd/mod.rs", justified);
+    assert!(v.is_empty(), "{v:?}");
+
+    // Outside the allowlist even a justified block is rejected.
+    let v = falcon_ct::audit::audit_source("crates/falcon/src/fft.rs", justified);
+    assert!(v.iter().any(|x| x.rule == Rule::UnsafeAudit), "{v:?}");
 }
 
 #[test]

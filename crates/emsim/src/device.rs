@@ -208,6 +208,7 @@ impl Device {
 
     /// Acquisition with a caller-chosen salt (tests and replays).
     pub fn capture_with_salt(&mut self, salt: &[u8; SALT_LEN], msg: &[u8]) -> Trace {
+        // ct: allow(span timing for observability; the modelled trace is clock-free)
         let start = Instant::now();
         let n = self.sk.logn().n();
         let c = hash_to_point(salt, msg, n);

@@ -72,6 +72,7 @@ fn sample_fg(logn: LogN, rng: &mut Prng) -> Vec<i16> {
     // Cumulative table over k = -kmax..=kmax.
     let weights: Vec<f64> =
         (-kmax..=kmax).map(|k| (-(k * k) as f64 / (2.0 * sigma * sigma)).exp()).collect();
+    // ct: allow(sequential fold over a fixed-order spec table)
     let total: f64 = weights.iter().sum();
     let mut cum = Vec::with_capacity(weights.len());
     let mut acc = 0.0f64;
@@ -93,6 +94,7 @@ fn sample_fg(logn: LogN, rng: &mut Prng) -> Vec<i16> {
 /// most `1.17²·q`.
 fn gs_norm_ok(f: &[i16], g: &[i16]) -> bool {
     let bound = 1.17 * 1.17 * Q as f64;
+    // ct: allow(sequential in-order coefficient sum from the spec)
     let sq: f64 = f.iter().chain(g.iter()).map(|&c| (c as f64) * (c as f64)).sum();
     if sq > bound {
         return false;

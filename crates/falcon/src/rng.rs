@@ -88,6 +88,7 @@ impl Prng {
     /// high-resolution timestamp (non-reproducible).
     pub fn from_entropy() -> Prng {
         use std::time::{SystemTime, UNIX_EPOCH};
+        // ct: allow(entropy seeding is wall-clock by design; reproducible runs use from_seed)
         let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
         let pid = std::process::id();
         let addr = &t as *const _ as usize;

@@ -22,6 +22,7 @@ const RCDT_LEN: usize = 18;
 
 fn rcdt() -> &'static [u128; RCDT_LEN] {
     static TABLE: OnceLock<[u128; RCDT_LEN]> = OnceLock::new();
+    // ct: allow(one-time RCDT table build; sequential spec-order fold)
     TABLE.get_or_init(|| {
         let sigma0 = 1.8205f64;
         let weights: Vec<f64> = (0..RCDT_LEN + 24)

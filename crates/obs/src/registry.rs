@@ -92,6 +92,7 @@ impl Histogram {
 
     /// Records the seconds elapsed since `start`.
     pub fn record_since(&self, start: std::time::Instant) {
+        // ct: allow(observability timing helper; wall-clock by design)
         self.record(start.elapsed().as_secs_f64());
     }
 

@@ -39,6 +39,7 @@ impl Span {
 
     /// Seconds elapsed so far.
     pub fn elapsed_secs(&self) -> f64 {
+        // ct: allow(span timing is wall-clock by design)
         self.start.elapsed().as_secs_f64()
     }
 }
@@ -55,11 +56,13 @@ pub fn span(name: &'static str) -> Span {
         d.set(v + 1);
         v
     });
+    // ct: allow(span timing is wall-clock by design)
     Span { name, start: Instant::now(), depth }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        // ct: allow(span timing is wall-clock by design)
         let secs = self.start.elapsed().as_secs_f64();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         crate::registry::histogram(&format!("span.{}", self.name)).record(secs);
