@@ -353,23 +353,19 @@ impl Campaign {
         Ok(())
     }
 
-    /// Checkpoints to `path` atomically: the state is written to a
-    /// sibling temporary file and renamed over the destination, so a
-    /// kill mid-write leaves either the previous checkpoint or the new
-    /// one, never a torn file.
+    /// Checkpoints to `path` atomically *and durably*: the state is
+    /// written to a sibling temporary file, fsynced, renamed over the
+    /// destination, and the parent directory is fsynced so the rename
+    /// itself survives a crash (see [`io::atomic_write`]). A kill at any
+    /// instant leaves either the previous checkpoint or the new one,
+    /// never a torn or vanishing file.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Returns [`Error::Persist`] naming the failed persistence step.
     pub fn checkpoint(&self, device: &Device, msg_rng: &Prng, path: &Path) -> Result<()> {
         let ckpt_span = obs::span("campaign.checkpoint");
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            self.write_checkpoint(device, msg_rng, &mut f)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, path)?;
+        io::atomic_write(path, |w| self.write_checkpoint(device, msg_rng, w))?;
         drop(ckpt_span);
         let (requested, pending) = (self.traces_requested, self.pending().len());
         obs::emit(|| {

@@ -59,6 +59,29 @@ pub enum Error {
     /// Acquisition could not make progress (e.g. screening rejected
     /// every trace of a batch).
     Acquisition(String),
+    /// An atomic persistence step (temp write, fsync, rename, directory
+    /// fsync) failed; names the step and the destination path so crash
+    /// reports say exactly which durability guarantee was lost.
+    Persist {
+        /// The step that failed: `"create"`, `"write"`, `"sync"`,
+        /// `"rename"`, `"sync-dir"`.
+        op: &'static str,
+        /// The destination path of the atomic write.
+        path: String,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// A parallel worker panicked; the panic was captured instead of
+    /// tearing down the process, so supervisors can retry the work.
+    WorkerPanicked {
+        /// The work-unit (chunk) index whose closure panicked.
+        chunk: usize,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// An orchestrated job violated a supervision constraint (bad spec,
+    /// unknown job, illegal state transition).
+    Orchestration(String),
 }
 
 impl Error {
@@ -90,6 +113,13 @@ impl fmt::Display for Error {
                 write!(f, "format version {found} not supported (this build reads <= {supported})")
             }
             Error::Acquisition(msg) => write!(f, "acquisition failed: {msg}"),
+            Error::Persist { op, path, source } => {
+                write!(f, "atomic persistence failed during {op} of {path}: {source}")
+            }
+            Error::WorkerPanicked { chunk, payload } => {
+                write!(f, "parallel worker panicked on chunk {chunk}: {payload}")
+            }
+            Error::Orchestration(msg) => write!(f, "orchestration error: {msg}"),
         }
     }
 }
@@ -98,6 +128,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Io(e) => Some(e),
+            Error::Persist { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -27,8 +27,10 @@
 //! `// ct: secret` regions; the constant-time gates are unaffected by
 //! scheduling.
 
+use crate::error::{Error, Result};
 use crate::obs;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, OnceLock};
 
@@ -54,6 +56,8 @@ struct ExecMetrics {
     threads: Arc<obs::Gauge>,
     /// Chunks dispatched across all fan-outs.
     chunks: Arc<obs::Counter>,
+    /// Worker panics captured (and surfaced as typed errors).
+    panics: Arc<obs::Counter>,
 }
 
 fn exec_metrics() -> &'static ExecMetrics {
@@ -63,7 +67,19 @@ fn exec_metrics() -> &'static ExecMetrics {
         serial: obs::counter("exec.serial"),
         threads: obs::gauge("exec.threads"),
         chunks: obs::counter("exec.chunks"),
+        panics: obs::counter("exec.panics"),
     })
+}
+
+/// Converts a captured panic payload into the typed executor error.
+fn panicked(chunk: usize, payload: Box<dyn std::any::Any + Send>) -> Error {
+    exec_metrics().panics.incr();
+    let payload = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    Error::WorkerPanicked { chunk, payload }
 }
 
 /// The `FALCON_DEMA_THREADS` value at first use (cached: the executor
@@ -104,6 +120,11 @@ pub fn set_threads(n: usize) {
 ///
 /// The output is bit-identical to `items.iter().map(f).collect()` for
 /// any deterministic `f`, at every thread count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread (see
+/// [`try_map`] for the non-panicking form supervisors retry on).
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -121,7 +142,55 @@ where
 /// Determinism contract: `f` must not let results depend on the scratch
 /// *history* (treat it as an uninitialised buffer each call); under that
 /// contract the output is bit-identical at every thread count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread. The panic is first
+/// *captured* in the worker (so sibling workers stop cleanly and the
+/// scope join never aborts the process) and then resumed here;
+/// [`try_map_with`] returns it as a typed
+/// [`Error::WorkerPanicked`] instead.
 pub fn map_with<T, S, R, M, F>(items: &[T], make: M, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    match try_map_with(items, make, f) {
+        Ok(out) => out,
+        Err(Error::WorkerPanicked { chunk, payload }) => std::panic::resume_unwind(Box::new(
+            format!("exec worker panicked on chunk {chunk}: {payload}"),
+        )),
+        Err(e) => unreachable!("try_map_with only fails on worker panics: {e}"),
+    }
+}
+
+/// Panic-isolating [`map`]: a panic in `f` is captured and returned as
+/// [`Error::WorkerPanicked`] instead of unwinding through the caller,
+/// so a supervisor can retry the whole map.
+///
+/// # Errors
+///
+/// Returns [`Error::WorkerPanicked`] naming the first (lowest-index)
+/// panicked work unit; remaining chunks are abandoned promptly.
+pub fn try_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_map_with(items, || (), move |(), item| f(item))
+}
+
+/// Panic-isolating [`map_with`]; see [`try_map`].
+///
+/// # Errors
+///
+/// Returns [`Error::WorkerPanicked`] naming the first (lowest-index)
+/// panicked work unit. `chunk` is the parallel chunk index, or the item
+/// index when the map ran serially (small input or one worker).
+pub fn try_map_with<T, S, R, M, F>(items: &[T], make: M, f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
@@ -133,7 +202,16 @@ where
     if workers == 1 || items.len() < PAR_THRESHOLD {
         m.serial.incr();
         let mut state = make();
-        return items.iter().map(|item| f(&mut state, item)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            // The scratch state is discarded wholesale on a panic, so
+            // observing it half-updated is impossible.
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, item))) {
+                Ok(r) => out.push(r),
+                Err(p) => return Err(panicked(i, p)),
+            }
+        }
+        return Ok(out);
     }
     // Chunks a few times smaller than a fair share give the atomic index
     // something to load-balance with; MIN_CHUNK bounds the bookkeeping.
@@ -144,25 +222,40 @@ where
     m.threads.set(workers as f64);
     m.chunks.add(n_chunks as u64);
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<R>)>();
+    let failed = AtomicBool::new(false);
+    type ChunkResult<R> = (usize, std::result::Result<Vec<R>, Box<dyn std::any::Any + Send>>);
+    let (tx, rx) = mpsc::channel::<ChunkResult<R>>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let failed = &failed;
             let f = &f;
             let make = &make;
             scope.spawn(move || {
                 let mut state = make();
                 loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= n_chunks {
                         break;
                     }
                     let lo = c * chunk;
                     let hi = (lo + chunk).min(items.len());
-                    let out: Vec<R> =
-                        items[lo..hi].iter().map(|item| f(&mut state, item)).collect();
+                    // A panicked chunk poisons only this worker's scratch
+                    // state, which dies with the worker: the panic stops
+                    // this worker's loop, so the state is never reused.
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        items[lo..hi].iter().map(|item| f(&mut state, item)).collect::<Vec<R>>()
+                    }));
+                    let bad = out.is_err();
                     if tx.send((c, out)).is_err() {
+                        break;
+                    }
+                    if bad {
+                        failed.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
@@ -172,14 +265,19 @@ where
     drop(tx);
     // All workers joined at scope exit; drain and reassemble in chunk
     // order — the step that makes scheduling invisible in the output.
-    let mut parts: Vec<(usize, Vec<R>)> = rx.try_iter().collect();
+    let mut parts: Vec<ChunkResult<R>> = rx.try_iter().collect();
     parts.sort_unstable_by_key(|p| p.0);
-    debug_assert_eq!(parts.len(), n_chunks, "every chunk must report exactly once");
     let mut out = Vec::with_capacity(items.len());
-    for (_, mut part) in parts {
-        out.append(&mut part);
+    for (c, part) in parts {
+        match part {
+            Ok(mut v) => out.append(&mut v),
+            // Lowest-index panic wins (sorted order); later chunks may be
+            // missing entirely once the failure flag stopped the pool.
+            Err(p) => return Err(panicked(c, p)),
+        }
     }
-    out
+    debug_assert_eq!(out.len(), items.len(), "every chunk must report exactly once");
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -330,5 +428,101 @@ mod tests {
     #[test]
     fn thread_override_is_visible() {
         with_threads(3, || assert_eq!(threads(), 3));
+    }
+
+    /// Silences the default panic hook for the duration of `f` so the
+    /// deliberate worker panics below do not spam the test output.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(prev);
+        r
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error_not_an_abort() {
+        let items: Vec<u64> = (0..4096).collect();
+        let r = quiet_panics(|| {
+            with_threads(4, || {
+                try_map(&items, |&v| {
+                    assert!(v != 1000, "injected fault at {v}");
+                    v
+                })
+            })
+        });
+        match r {
+            Err(Error::WorkerPanicked { chunk, payload }) => {
+                // Item 1000 lives in a deterministic chunk for this shape.
+                let chunk_size = (items.len().div_ceil(4 * 4)).max(MIN_CHUNK);
+                assert_eq!(chunk, 1000 / chunk_size);
+                assert!(payload.contains("injected fault"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serial_panic_reports_the_item_index() {
+        let items: Vec<u64> = (0..16).collect();
+        let r = quiet_panics(|| with_threads(1, || try_map(&items, |&v| assert!(v != 7))));
+        match r {
+            Err(Error::WorkerPanicked { chunk: 7, payload }) => {
+                assert!(payload.contains("v != 7"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanicked at item 7, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowest_panicked_chunk_wins() {
+        // Two injected faults: the typed error must name the lower chunk
+        // regardless of which worker hit its fault first.
+        let items: Vec<u64> = (0..8192).collect();
+        let r = quiet_panics(|| {
+            with_threads(8, || try_map(&items, |&v| assert!(v != 100 && v != 8000)))
+        });
+        let chunk_size = (items.len().div_ceil(4 * 8)).max(MIN_CHUNK);
+        match r {
+            Err(Error::WorkerPanicked { chunk, .. }) => {
+                assert!(
+                    chunk <= 100 / chunk_size,
+                    "reported chunk {chunk} is later than the first fault"
+                );
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_resumes_the_panic_on_the_caller() {
+        let items: Vec<u64> = (0..4096).collect();
+        let r = quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                with_threads(4, || map(&items, |&v| assert!(v != 2000)))
+            }))
+        });
+        let payload = r.expect_err("map must panic when a worker panics");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("exec worker panicked"), "payload: {msg}");
+    }
+
+    #[test]
+    fn try_map_succeeds_and_matches_map() {
+        let items: Vec<u64> = (0..4096).collect();
+        let want = with_threads(4, || map(&items, |&v| v * 7 + 1));
+        let got = with_threads(4, || try_map(&items, |&v| v * 7 + 1)).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pool_recovers_after_a_panicked_map() {
+        // A panicked map must leave the executor fully usable: the next
+        // map over the same thread configuration is exact.
+        let items: Vec<u64> = (0..4096).collect();
+        let _ = quiet_panics(|| with_threads(4, || try_map(&items, |&v| assert!(v != 5))));
+        let got = with_threads(4, || map(&items, |&v| v + 1));
+        let want: Vec<u64> = items.iter().map(|&v| v + 1).collect();
+        assert_eq!(got, want);
     }
 }

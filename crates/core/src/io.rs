@@ -21,6 +21,7 @@
 use crate::acquire::{Dataset, POINTS_PER_TARGET};
 use crate::error::{Error, Result};
 use std::io::{Read, Write};
+use std::path::Path;
 
 const MAGIC_PREFIX: &[u8; 7] = b"FDNDSET";
 const VERSION_V1: u8 = 1;
@@ -69,6 +70,78 @@ fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> Result<()> {
             dst.copy_from_slice(&v.to_le_bytes());
         }
         w.write_all(&buf[..4 * chunk.len()])?;
+    }
+    Ok(())
+}
+
+/// Suffix appended to the destination file name for the temporary
+/// sibling used by [`atomic_write`] (`job.spec` → `job.spec.tmp`, so
+/// sibling records of one job never collide on their temp files);
+/// recovery scans ([`crate::orch::JobStore`]) delete any leftover
+/// `*.tmp` as a torn write from a crashed process.
+pub const TMP_SUFFIX: &str = ".tmp";
+
+fn persist_err<'a>(op: &'static str, path: &'a Path) -> impl FnOnce(std::io::Error) -> Error + 'a {
+    move |source| Error::Persist { op, path: path.display().to_string(), source }
+}
+
+/// Fsyncs a directory so a preceding rename inside it is durable.
+///
+/// POSIX only promises that `rename` survives a crash once the parent
+/// directory's metadata has itself been synced; without this step an
+/// "atomic" checkpoint can vanish wholesale on power loss even though
+/// the file's own contents were fsynced. On non-Unix platforms opening
+/// a directory for sync is not portable, so this is a no-op there (the
+/// rename-over guarantee still holds; only the power-loss window
+/// differs).
+///
+/// # Errors
+///
+/// Returns [`Error::Persist`] with `op = "sync-dir"`.
+pub fn fsync_dir(dir: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir).map_err(persist_err("sync-dir", dir))?;
+        d.sync_all().map_err(persist_err("sync-dir", dir))?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// Writes a file atomically *and durably*: the payload goes to a
+/// `<path>.tmp` sibling, is fsynced, renamed over `path`, and the
+/// parent directory is fsynced so the rename itself survives a crash.
+/// A kill at any instant leaves either the previous file or the new
+/// one, never a torn or vanishing file.
+///
+/// `fill` receives a buffered writer for the temporary file.
+///
+/// # Errors
+///
+/// Returns [`Error::Persist`] naming the failed step, or the error
+/// propagated from `fill`.
+pub fn atomic_write<F>(path: &Path, fill: F) -> Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> Result<()>,
+{
+    let mut tmp_name = path.file_name().map(|f| f.to_os_string()).unwrap_or_default();
+    tmp_name.push(TMP_SUFFIX);
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let f = std::fs::File::create(&tmp).map_err(persist_err("create", &tmp))?;
+        let mut w = std::io::BufWriter::new(f);
+        fill(&mut w)?;
+        let f = w.into_inner().map_err(|e| Error::Persist {
+            op: "write",
+            path: tmp.display().to_string(),
+            source: e.into_error(),
+        })?;
+        f.sync_all().map_err(persist_err("sync", &tmp))?;
+    }
+    std::fs::rename(&tmp, path).map_err(persist_err("rename", path))?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        fsync_dir(dir)?;
     }
     Ok(())
 }

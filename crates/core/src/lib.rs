@@ -58,6 +58,7 @@ pub mod exec;
 pub mod io;
 pub mod model;
 pub mod ntt_attack;
+pub mod orch;
 pub mod recover;
 pub mod screen;
 pub mod template;
@@ -70,5 +71,6 @@ pub use attack::{
 };
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, CoefficientStatus};
 pub use error::{Error, Result};
+pub use orch::{JobSpec, JobState, JobStatus, JobStore, Supervisor, SupervisorConfig};
 pub use recover::{invert_fft_f, key_from_fft_bits, recover_private_key, RecoveredKey};
 pub use screen::{AcquisitionStats, ScreenConfig};

@@ -1,0 +1,110 @@
+//! Deterministic seeded exponential backoff with jitter.
+//!
+//! Retry storms are a failure mode of their own: a fleet of workers
+//! that all retry on the same schedule hammers the shared resource
+//! (here: the host's cores and the checkpoint disk) in lockstep. The
+//! classic fix is exponential backoff with jitter; the twist here is
+//! that the jitter is *seeded* — derived from the job name and the
+//! attempt number through a splitmix64 hash — so a resumed orchestrator
+//! replays the exact same retry schedule as the crashed one, keeping
+//! the whole supervision layer inside the workspace's bit-reproducibility
+//! contract (no `rand`, no wall-clock entropy).
+
+/// Exponential backoff policy with deterministic half-range jitter.
+///
+/// Attempt `k` (0-based) waits `d = min(cap, base · 2^k)` scaled by a
+/// jitter factor in `[0.5, 1.0)` drawn from `hash(seed, k)`:
+/// full exponential growth, but desynchronised retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on the un-jittered delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; the supervisor derives it from the job name so
+    /// sibling jobs never share a schedule.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff { base_ms: 50, cap_ms: 5_000, seed: 0 }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry attempt `attempt` (0-based), in
+    /// milliseconds. Pure: the same `(seed, attempt)` always yields the
+    /// same delay.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self.base_ms.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let capped = exp.min(self.cap_ms).max(1);
+        // Jitter factor in [0.5, 1.0): keep at least half the exponential
+        // spacing so the growth guarantee survives the randomisation.
+        let h = splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let jittered = capped as f64 * (0.5 + 0.5 * frac);
+        jittered as u64
+    }
+}
+
+/// Derives a stable 64-bit jitter seed from a job name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    splitmix64(h)
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_until_the_cap() {
+        let b = Backoff { base_ms: 100, cap_ms: 10_000, seed: 7 };
+        let d: Vec<u64> = (0..8).map(|k| b.delay_ms(k)).collect();
+        // Jitter keeps every delay within [0.5, 1.0) of the exponential.
+        for (k, &ms) in d.iter().enumerate() {
+            let exp = (100u64 << k).min(10_000);
+            assert!(ms >= exp / 2 && ms < exp, "attempt {k}: {ms} vs {exp}");
+        }
+        // Monotone growth guarantee from the half-range jitter: the
+        // floor of attempt k+2 exceeds the ceiling of attempt k.
+        assert!(d[2] > d[0] && d[4] > d[2] && d[6] > d[4]);
+    }
+
+    #[test]
+    fn delays_are_deterministic_per_seed_and_desynchronised_across_seeds() {
+        let a = Backoff { base_ms: 50, cap_ms: 5_000, seed: seed_from_name("job-a") };
+        let b = Backoff { base_ms: 50, cap_ms: 5_000, seed: seed_from_name("job-b") };
+        assert_eq!(a.delay_ms(3), a.delay_ms(3));
+        // Two named jobs almost surely diverge somewhere in the schedule.
+        assert!((0..10).any(|k| a.delay_ms(k) != b.delay_ms(k)));
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let b = Backoff { base_ms: 50, cap_ms: 5_000, seed: 1 };
+        assert!(b.delay_ms(200) <= 5_000);
+        assert!(b.delay_ms(u32::MAX) <= 5_000);
+        assert!(b.delay_ms(63) >= 2_500);
+    }
+
+    #[test]
+    fn zero_base_still_waits_at_least_a_millisecond_floor() {
+        let b = Backoff { base_ms: 0, cap_ms: 100, seed: 2 };
+        // max(1) keeps the retry loop from spinning hot.
+        assert!(b.delay_ms(0) <= 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! The synchronous job-advancement engine the supervisor's workers
+//! drive (and torture tests drive directly).
+//!
+//! A [`JobRuntime`] owns everything one job needs in memory — the
+//! reconstructed victim bench and the resumable campaign — and advances
+//! it one *slice* (a bounded number of campaign batches) at a time,
+//! checkpointing through the [`JobStore`] after every slice. Because
+//! the campaign checkpoint embeds the device and message-stream
+//! positions, a runtime rebuilt from any checkpoint replays the exact
+//! same acquisition stream: a job that crashed at *any* boundary
+//! converges to recovered key bits identical to an uninterrupted run.
+//!
+//! Fault injection lives here too: a [`FaultInjector`] deterministically
+//! fires the panics and stalls a [`JobSpec`] asks for, so the
+//! supervisor's retry/backoff/deadline machinery is exercised by tests
+//! without any OS-level trickery.
+
+use crate::campaign::{Campaign, CampaignReport};
+use crate::error::Result;
+use crate::obs;
+use crate::orch::job::{JobSpec, Victim};
+use crate::orch::store::JobStore;
+use std::collections::BTreeSet;
+
+/// What one supervision slice accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceOutcome {
+    /// Campaign batches actually run.
+    pub steps: u32,
+    /// The campaign finished (converged or budget-exhausted).
+    pub done: bool,
+    /// Every targeted coefficient converged.
+    pub complete: bool,
+    /// Cumulative captures requested.
+    pub traces_requested: usize,
+    /// Converged coefficients so far.
+    pub recovered: usize,
+}
+
+/// Per-process memory of which injected faults already fired, so a
+/// retried slice passes where the first attempt deliberately failed.
+/// (Intentionally *not* persisted: a restarted daemon re-fires its
+/// injected faults, which is exactly what the torture tests want.)
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    fired_panics: BTreeSet<u64>,
+    fired_stalls: BTreeSet<u64>,
+}
+
+impl FaultInjector {
+    /// Fires any fault the spec schedules for batch index `batch`:
+    /// a stall (sleep) first, then a panic. Each index fires once per
+    /// injector.
+    fn fire(&mut self, spec: &JobSpec, batch: u64) {
+        if spec.stall_steps.contains(&batch) && self.fired_stalls.insert(batch) {
+            obs::metrics().counter("orch.injected_stalls").incr();
+            std::thread::sleep(std::time::Duration::from_millis(spec.stall_ms));
+        }
+        if spec.panic_steps.contains(&batch) && self.fired_panics.insert(batch) {
+            obs::metrics().counter("orch.injected_panics").incr();
+            panic!("injected fault: panic at batch {batch} of job {}", spec.name);
+        }
+    }
+}
+
+/// One job's in-memory execution state: victim bench plus campaign.
+pub struct JobRuntime {
+    spec: JobSpec,
+    victim: Victim,
+    campaign: Campaign,
+    /// Global batch index (survives rebuilds via `traces_requested`).
+    batches_done: u64,
+}
+
+impl JobRuntime {
+    /// Reconstructs a job's runtime: builds the seeded victim and either
+    /// resumes the persisted checkpoint (rewinding the device and
+    /// message streams to their checkpointed positions) or starts a
+    /// fresh campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation, checkpoint parse and campaign
+    /// construction errors.
+    pub fn prepare(spec: &JobSpec, store: &JobStore) -> Result<JobRuntime> {
+        spec.validate()?;
+        let mut victim = spec.build_victim()?;
+        let ckpt = store.checkpoint_path(&spec.name);
+        let campaign = if ckpt.exists() {
+            Campaign::resume_from_path(
+                spec.campaign_config(),
+                &mut victim.device,
+                &mut victim.msgs,
+                &ckpt,
+            )?
+        } else {
+            Campaign::new(spec.n(), spec.campaign_config())?
+        };
+        let batches_done = (campaign.traces_requested() as u64).div_ceil(spec.batch_size as u64);
+        Ok(JobRuntime { spec: spec.clone(), victim, campaign, batches_done })
+    }
+
+    /// The job's spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// The campaign's current (possibly partial) report.
+    pub fn report(&self) -> CampaignReport {
+        self.campaign.report()
+    }
+
+    /// Ground-truth `FFT(f)` bits of the simulated victim.
+    pub fn truth(&self) -> &[u64] {
+        &self.victim.truth
+    }
+
+    /// Runs one supervision slice: up to `spec.steps_per_slice` campaign
+    /// batches, with injected faults fired at their scheduled batch
+    /// indices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign step errors; injected panics unwind (the
+    /// supervisor catches them).
+    pub fn slice(&mut self, injector: &mut FaultInjector) -> Result<SliceOutcome> {
+        let mut steps = 0u32;
+        let mut done = false;
+        for _ in 0..self.spec.steps_per_slice {
+            injector.fire(&self.spec, self.batches_done);
+            if !self.campaign.step(&mut self.victim.device, &mut self.victim.msgs)? {
+                done = true;
+                break;
+            }
+            self.batches_done += 1;
+            steps += 1;
+            if self.campaign.is_done() {
+                done = true;
+                break;
+            }
+        }
+        let report = self.campaign.report();
+        Ok(SliceOutcome {
+            steps,
+            done,
+            complete: report.is_complete(),
+            traces_requested: self.campaign.traces_requested(),
+            recovered: report.recovered_count(),
+        })
+    }
+
+    /// Durably checkpoints the campaign (device and message stream
+    /// positions included) through the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persist`](crate::error::Error::Persist) on a
+    /// failed durable write.
+    pub fn checkpoint(&self, store: &JobStore) -> Result<()> {
+        self.campaign.checkpoint(
+            &self.victim.device,
+            &self.victim.msgs,
+            &store.checkpoint_path(&self.spec.name),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("falcon-orch-runner-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec { name: name.into(), seed: format!("{name} runner seed"), ..Default::default() }
+    }
+
+    #[test]
+    fn uninterrupted_run_recovers_the_key() {
+        let dir = tmp_dir("clean");
+        let store = JobStore::open(&dir).unwrap();
+        let spec = spec("runner-clean");
+        let mut rt = JobRuntime::prepare(&spec, &store).unwrap();
+        let mut inj = FaultInjector::default();
+        loop {
+            let out = rt.slice(&mut inj).unwrap();
+            rt.checkpoint(&store).unwrap();
+            if out.done {
+                assert!(out.complete, "campaign should converge: {out:?}");
+                break;
+            }
+        }
+        let bits = rt.report().recovered_bits().unwrap();
+        assert_eq!(bits, rt.truth());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuild_from_checkpoint_is_bit_identical() {
+        let dir_a = tmp_dir("ckpt-a");
+        let dir_b = tmp_dir("ckpt-b");
+        let store_a = JobStore::open(&dir_a).unwrap();
+        let store_b = JobStore::open(&dir_b).unwrap();
+        let spec = spec("runner-ckpt");
+        let mut inj = FaultInjector::default();
+
+        // Reference: run to completion in one runtime.
+        let mut reference = JobRuntime::prepare(&spec, &store_a).unwrap();
+        loop {
+            if reference.slice(&mut inj).unwrap().done {
+                break;
+            }
+        }
+        let want = reference.report().recovered_bits().unwrap();
+
+        // Torture: rebuild the runtime from its checkpoint after every
+        // single slice (a crash at every boundary).
+        let mut done = false;
+        while !done {
+            let mut rt = JobRuntime::prepare(&spec, &store_b).unwrap();
+            let out = rt.slice(&mut inj).unwrap();
+            rt.checkpoint(&store_b).unwrap();
+            done = out.done;
+        }
+        let rt = JobRuntime::prepare(&spec, &store_b).unwrap();
+        assert_eq!(rt.report().recovered_bits().unwrap(), want);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn injected_panic_fires_once_and_the_retry_passes() {
+        let dir = tmp_dir("inject");
+        let store = JobStore::open(&dir).unwrap();
+        let spec = JobSpec { panic_steps: vec![1], ..spec("runner-inject") };
+        let mut rt = JobRuntime::prepare(&spec, &store).unwrap();
+        let mut inj = FaultInjector::default();
+        rt.slice(&mut inj).unwrap();
+        rt.checkpoint(&store).unwrap();
+        // Batch 1 panics on first encounter…
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = catch_unwind(AssertUnwindSafe(|| rt.slice(&mut inj)));
+        std::panic::set_hook(prev);
+        assert!(r.is_err(), "injected panic must unwind");
+        // …and the rebuilt runtime passes the same batch on retry.
+        let mut rt = JobRuntime::prepare(&spec, &store).unwrap();
+        let out = rt.slice(&mut inj).unwrap();
+        assert_eq!(out.steps, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

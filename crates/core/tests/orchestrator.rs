@@ -1,0 +1,136 @@
+//! Orchestrator torture tests: leave behind the exact on-disk picture a
+//! SIGKILL produces — at every slice boundary, and mid-checkpoint — then
+//! assert recovery converges to results bit-identical to an
+//! uninterrupted run of the same spec.
+//!
+//! The reference is an *uninterrupted run*, not the planted key: under
+//! measurement noise a campaign may legitimately converge to a value
+//! with noise-induced errors, and the durability contract is that a
+//! crash never changes the outcome, whatever that outcome is.
+
+use falcon_dema::orch::{
+    FaultInjector, JobRuntime, JobSpec, JobState, JobStore, Supervisor, SupervisorConfig,
+};
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("falcon-orch-tort-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(name: &str) -> JobSpec {
+    JobSpec { name: name.into(), seed: format!("{name} torture seed"), ..Default::default() }
+}
+
+/// Uninterrupted reference run: (recovered bits, total slices).
+fn reference(spec: &JobSpec, tag: &str) -> (Vec<u64>, u64) {
+    let dir = tmp_dir(tag);
+    let store = JobStore::open(&dir).unwrap();
+    store.submit(spec).unwrap();
+    let mut rt = JobRuntime::prepare(spec, &store).unwrap();
+    let mut inj = FaultInjector::default();
+    let mut slices = 0u64;
+    loop {
+        let out = rt.slice(&mut inj).unwrap();
+        slices += 1;
+        if out.done {
+            assert!(out.complete, "reference run must converge; pick another seed");
+            break;
+        }
+        assert!(slices < 1_000, "reference run did not terminate");
+    }
+    let bits = rt.report().recovered_bits().expect("complete run has bits");
+    let _ = std::fs::remove_dir_all(&dir);
+    (bits, slices)
+}
+
+/// Runs `slices` checkpointed slices of `spec` in `dir`, then abandons
+/// the job with its status still `running` — the on-disk state a
+/// SIGKILL at that boundary leaves behind.
+fn crash_after(spec: &JobSpec, dir: &PathBuf, slices: u64) {
+    let store = JobStore::open(dir).unwrap();
+    store.submit(spec).unwrap();
+    let mut rt = JobRuntime::prepare(spec, &store).unwrap();
+    let mut inj = FaultInjector::default();
+    let mut st = store.read_status(&spec.name).unwrap();
+    st.state = JobState::Running;
+    for _ in 0..slices {
+        let out = rt.slice(&mut inj).unwrap();
+        rt.checkpoint(&store).unwrap();
+        st.slices += 1;
+        st.traces_requested = out.traces_requested as u64;
+        st.recovered = out.recovered as u64;
+    }
+    store.write_status(&spec.name, &st).unwrap();
+}
+
+/// Recovers the store under a fresh supervisor and returns the job's
+/// settled bits, asserting it reached `done`.
+fn recover_and_finish(spec: &JobSpec, dir: &PathBuf, ctx: &str) -> Vec<u64> {
+    let sup = Supervisor::start(JobStore::open(dir).unwrap(), SupervisorConfig::default()).unwrap();
+    let st = sup.wait_settled(&spec.name, 120_000).unwrap();
+    assert_eq!(st.state, JobState::Done, "{ctx}: job ended {:?}: {}", st.state, st.last_error);
+    st.bits
+}
+
+#[test]
+fn a_crash_at_every_slice_boundary_recovers_bit_identically() {
+    let spec = spec("tort-boundary");
+    let (want, total) = reference(&spec, "ref-boundary");
+    assert!(total >= 2, "need at least two kill points, got {total} slices");
+    // Kill point 0 = killed right after submit, before any work;
+    // kill point `total` = killed after the final slice's checkpoint but
+    // before the done state was recorded.
+    for kill in 0..=total {
+        let dir = tmp_dir(&format!("kill{kill}"));
+        crash_after(&spec, &dir, kill);
+        let bits = recover_and_finish(&spec, &dir, &format!("kill point {kill}"));
+        assert_eq!(bits, want, "kill point {kill} diverged from the uninterrupted run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn a_torn_checkpoint_write_is_discarded_at_recovery() {
+    let spec = spec("tort-torn");
+    let (want, _) = reference(&spec, "ref-torn");
+    let dir = tmp_dir("torn");
+    crash_after(&spec, &dir, 1);
+    // The crash landed mid-checkpoint: half-written temp files for both
+    // the campaign checkpoint and the status record are still on disk.
+    std::fs::write(dir.join(format!("{}.ckpt.tmp", spec.name)), b"torn half-write").unwrap();
+    std::fs::write(dir.join(format!("{}.state.tmp", spec.name)), b"also torn").unwrap();
+
+    let store = JobStore::open(&dir).unwrap();
+    let report = store.recover().unwrap();
+    assert_eq!(report.torn_removed, 2, "both torn temp files must be swept");
+    assert_eq!(report.adopted, vec![spec.name.clone()]);
+    assert!(report.corrupt.is_empty(), "committed records must survive: {report:?}");
+
+    let bits = recover_and_finish(&spec, &dir, "torn checkpoint");
+    assert_eq!(bits, want, "torn temp files must not change the outcome");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_corrupt_state_record_quarantines_only_that_job() {
+    let good = spec("tort-good");
+    let (want, _) = reference(&good, "ref-good");
+    let bad = spec("tort-bad");
+    let dir = tmp_dir("corrupt");
+    let store = JobStore::open(&dir).unwrap();
+    store.submit(&good).unwrap();
+    store.submit(&bad).unwrap();
+    std::fs::write(store.state_path(&bad.name), b"\xff\xffnot a status record").unwrap();
+
+    let sup = Supervisor::start(store, SupervisorConfig::default()).unwrap();
+    let st = sup.wait_settled(&good.name, 120_000).unwrap();
+    assert_eq!(st.state, JobState::Done, "sibling must finish: {}", st.last_error);
+    assert_eq!(st.bits, want);
+    let bad_st = sup.status(&bad.name).unwrap();
+    assert_eq!(bad_st.state, JobState::Failed, "corrupt job must be quarantined");
+    assert!(bad_st.last_error.contains("quarantined"), "unexpected error: {}", bad_st.last_error);
+    drop(sup);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,195 @@
+//! A small blocking control-plane client.
+//!
+//! One request line out, reply line(s) in; see [`crate::rpc`] for the
+//! wire format. Used by the torture tests and by CI drivers — and small
+//! enough to crib for ad-hoc scripting with `nc`.
+
+use crate::rpc::{submit_request, Msg};
+use crate::server::Conn;
+use falcon_dema::error::{Error, Result};
+use falcon_dema::orch::JobSpec;
+use falcon_obs::Event;
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected control-plane client.
+pub struct Client {
+    reader: Box<dyn BufRead + Send>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` — `"unix:<path>"` or a TCP
+    /// `host:port` address, the same forms [`crate::server::bind`]
+    /// accepts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect(addr: &str) -> Result<Client> {
+        let (reader, writer) = connect_conn(addr)?.into_split()?;
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw request line and reads the full reply: the lead
+    /// reply line plus any announced `"jobs"` follow-up lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Orchestration`] for a daemon-reported error
+    /// (`"ok":false`), a malformed reply, or a closed connection.
+    pub fn call(&mut self, line: &str) -> Result<Vec<Msg>> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let head = Msg::parse(&self.read_line()?)?;
+        if head.get_bool("ok") != Some(true) {
+            let why = head.get_str("error").unwrap_or("unspecified daemon error");
+            return Err(Error::Orchestration(why.to_string()));
+        }
+        let follow = head.get_u64("jobs").unwrap_or(0);
+        let mut out = vec![head];
+        for _ in 0..follow {
+            out.push(Msg::parse(&self.read_line()?)?);
+        }
+        Ok(out)
+    }
+
+    fn read_line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(Error::Orchestration("daemon closed the connection".into()));
+        }
+        Ok(line)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn ping(&mut self) -> Result<()> {
+        self.call(&Event::new("rpc").with_str("method", "ping").to_json()).map(|_| ())
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors (invalid spec, duplicate).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<()> {
+        self.call(&submit_request(spec)).map(|_| ())
+    }
+
+    /// One job's status line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors (unknown job).
+    pub fn status(&mut self, job: &str) -> Result<Msg> {
+        let req = Event::new("rpc").with_str("method", "status").with_str("job", job.to_string());
+        let mut msgs = self.call(&req.to_json())?;
+        msgs.pop()
+            .filter(|m| m.get_str("job") == Some(job))
+            .ok_or_else(|| Error::Orchestration(format!("no status line for job {job:?}")))
+    }
+
+    /// Status lines for every known job, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn jobs(&mut self) -> Result<Vec<Msg>> {
+        let mut msgs = self.call(&Event::new("rpc").with_str("method", "status").to_json())?;
+        msgs.remove(0);
+        Ok(msgs)
+    }
+
+    /// Pauses a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn pause(&mut self, job: &str) -> Result<()> {
+        self.job_op("pause", job)
+    }
+
+    /// Resumes a paused or degraded job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn resume(&mut self, job: &str) -> Result<()> {
+        self.job_op("resume", job)
+    }
+
+    /// Cancels a job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn cancel(&mut self, job: &str) -> Result<()> {
+        self.job_op("cancel", job)
+    }
+
+    /// Sets the daemon's concurrency limit (load-shedding governor).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn set_max_running(&mut self, limit: u64) -> Result<()> {
+        let req = Event::new("rpc").with_str("method", "max_running").with_u64("limit", limit);
+        self.call(&req.to_json()).map(|_| ())
+    }
+
+    /// Asks the daemon to drain: running jobs checkpoint and park, then
+    /// the daemon process exits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and daemon errors.
+    pub fn drain(&mut self) -> Result<()> {
+        self.call(&Event::new("rpc").with_str("method", "drain").to_json()).map(|_| ())
+    }
+
+    /// Polls a job's status until its `"state"` matches one of `want`.
+    /// Poll-count based (`timeout_ms / 20` attempts), so the client stays
+    /// free of wall-clock reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Orchestration`] when the attempts are exhausted.
+    pub fn wait_state(&mut self, job: &str, want: &[&str], timeout_ms: u64) -> Result<Msg> {
+        let poll = Duration::from_millis(20);
+        let attempts = (timeout_ms / 20).max(1);
+        let mut last = String::new();
+        for _ in 0..attempts {
+            let st = self.status(job)?;
+            if let Some(state) = st.get_str("state") {
+                if want.contains(&state) {
+                    return Ok(st);
+                }
+                last = state.to_string();
+            }
+            std::thread::sleep(poll);
+        }
+        Err(Error::Orchestration(format!(
+            "job {job:?} did not reach {want:?} within {timeout_ms}ms (last state {last:?})"
+        )))
+    }
+
+    fn job_op(&mut self, method: &'static str, job: &str) -> Result<()> {
+        let req = Event::new("rpc").with_str("method", method).with_str("job", job.to_string());
+        self.call(&req.to_json()).map(|_| ())
+    }
+}
+
+fn connect_conn(addr: &str) -> Result<Conn> {
+    #[cfg(unix)]
+    if let Some(path) = addr.strip_prefix("unix:") {
+        return Ok(Conn::Unix(UnixStream::connect(path)?));
+    }
+    Ok(Conn::Tcp(TcpStream::connect(addr)?))
+}

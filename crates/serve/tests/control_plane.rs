@@ -1,0 +1,84 @@
+//! In-process control-plane coverage: every RPC method dispatched
+//! against a live supervisor, including the error surface (malformed
+//! lines, unknown methods, duplicate submits, terminal-state refusals).
+//!
+//! The supervisor runs with `max_running: 0` so no worker ever claims a
+//! job — control transitions are then fully deterministic.
+
+use falcon_dema::orch::{JobSpec, JobStore, Supervisor, SupervisorConfig};
+use falcon_serve::rpc::{submit_request, Msg};
+use falcon_serve::server::dispatch;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("falcon-orch-ctl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn parked_supervisor(tag: &str) -> Supervisor {
+    let cfg = SupervisorConfig { workers: 1, max_running: 0, ..Default::default() };
+    Supervisor::start(JobStore::open(tmp_dir(tag)).unwrap(), cfg).unwrap()
+}
+
+fn ok_of(replies: &[String]) -> bool {
+    Msg::parse(&replies[0]).unwrap().get_bool("ok") == Some(true)
+}
+
+fn error_of(replies: &[String]) -> String {
+    let head = Msg::parse(&replies[0]).unwrap();
+    assert_eq!(head.get_bool("ok"), Some(false), "expected an error reply: {replies:?}");
+    head.get_str("error").unwrap().to_string()
+}
+
+#[test]
+fn dispatch_covers_the_full_method_surface() {
+    let sup = parked_supervisor("surface");
+    let spec = JobSpec { name: "ctl-a".into(), seed: "ctl seed".into(), ..Default::default() };
+
+    // Liveness and the error surface.
+    let (r, drain) = dispatch(&sup, r#"{"method":"ping"}"#);
+    assert!(ok_of(&r) && !drain);
+    let (r, _) = dispatch(&sup, "not json at all");
+    assert!(error_of(&r).contains("malformed"));
+    let (r, _) = dispatch(&sup, r#"{"method":"frobnicate"}"#);
+    assert!(error_of(&r).contains("unknown method"));
+    let (r, _) = dispatch(&sup, r#"{"method":"pause"}"#);
+    assert!(error_of(&r).contains("job name"));
+    let (r, _) = dispatch(&sup, r#"{"method":"max_running"}"#);
+    assert!(error_of(&r).contains("limit"));
+    let (r, _) = dispatch(&sup, r#"{"method":"status","job":"nope"}"#);
+    assert!(error_of(&r).contains("nope"));
+
+    // Submit, duplicate submit, status.
+    let (r, _) = dispatch(&sup, &submit_request(&spec));
+    assert!(ok_of(&r), "submit failed: {r:?}");
+    let (r, _) = dispatch(&sup, &submit_request(&spec));
+    assert!(!ok_of(&r), "duplicate submit must be refused");
+    let (r, _) = dispatch(&sup, r#"{"method":"status"}"#);
+    assert_eq!(r.len(), 2, "header plus one job line: {r:?}");
+    assert_eq!(Msg::parse(&r[0]).unwrap().get_u64("jobs"), Some(1));
+    let job = Msg::parse(&r[1]).unwrap();
+    assert_eq!(job.get_str("job"), Some("ctl-a"));
+    assert_eq!(job.get_str("state"), Some("queued"));
+
+    // Lifecycle: pause -> resume -> cancel -> resume refused.
+    let (r, _) = dispatch(&sup, r#"{"method":"pause","job":"ctl-a"}"#);
+    assert!(ok_of(&r));
+    let (r, _) = dispatch(&sup, r#"{"method":"status","job":"ctl-a"}"#);
+    assert_eq!(Msg::parse(&r[1]).unwrap().get_str("state"), Some("paused"));
+    let (r, _) = dispatch(&sup, r#"{"method":"resume","job":"ctl-a"}"#);
+    assert!(ok_of(&r));
+    let (r, _) = dispatch(&sup, r#"{"method":"cancel","job":"ctl-a"}"#);
+    assert!(ok_of(&r));
+    let (r, _) = dispatch(&sup, r#"{"method":"status","job":"ctl-a"}"#);
+    assert_eq!(Msg::parse(&r[1]).unwrap().get_str("state"), Some("cancelled"));
+    let (r, _) = dispatch(&sup, r#"{"method":"resume","job":"ctl-a"}"#);
+    assert!(!ok_of(&r), "a cancelled job is terminal");
+
+    // Governor and drain.
+    let (r, drain) = dispatch(&sup, r#"{"method":"max_running","limit":4}"#);
+    assert!(ok_of(&r) && !drain);
+    let (r, drain) = dispatch(&sup, r#"{"method":"drain"}"#);
+    assert!(ok_of(&r) && drain, "drain must flag shutdown");
+}

@@ -1,0 +1,204 @@
+//! Daemon torture tests: spawn the real `falcon_orchestrator` binary,
+//! SIGKILL it at the submit boundary and again mid-campaign, restart it
+//! over the same store, and assert both concurrent FALCON-8 jobs
+//! converge to results bit-identical to uninterrupted runs.
+//!
+//! When `ORCH_ARTIFACT_DIR` is set (the CI orchestrator leg sets it),
+//! the daemon's JSONL event stream — spanning all three boots — is
+//! copied there as a build artifact.
+
+use falcon_dema::orch::{FaultInjector, JobRuntime, JobSpec, JobStore};
+use falcon_serve::rpc::parse_csv;
+use falcon_serve::Client;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("falcon-orch-dmn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A FALCON-8 job slowed down with injected stalls so the SIGKILL
+/// reliably lands mid-campaign.
+fn torture_spec(name: &str) -> JobSpec {
+    JobSpec {
+        name: name.into(),
+        seed: format!("{name} daemon seed"),
+        stall_steps: (0..16).collect(),
+        stall_ms: 120,
+        ..Default::default()
+    }
+}
+
+/// The uninterrupted reference: same victim and acquisition stream, no
+/// injected faults, run to convergence in-process.
+fn reference_bits(spec: &JobSpec, tag: &str) -> Vec<u64> {
+    let mut clean = spec.clone();
+    clean.stall_steps.clear();
+    clean.panic_steps.clear();
+    let dir = tmp_dir(tag);
+    let store = JobStore::open(&dir).unwrap();
+    let mut rt = JobRuntime::prepare(&clean, &store).unwrap();
+    let mut inj = FaultInjector::default();
+    loop {
+        let out = rt.slice(&mut inj).unwrap();
+        if out.done {
+            assert!(out.complete, "reference run must converge; pick another seed");
+            break;
+        }
+    }
+    let bits = rt.report().recovered_bits().expect("complete run has bits");
+    let _ = std::fs::remove_dir_all(&dir);
+    bits
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+/// Spawns the daemon over `store` and waits until it accepts RPC.
+///
+/// Every returned daemon is reaped by `kill` or `wait_exit`; the lint
+/// cannot see through the struct.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(store: &Path, listen: &str) -> Daemon {
+    let addr_file = store.join("addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_falcon_orchestrator"))
+        .arg("--store")
+        .arg(store)
+        .arg("--listen")
+        .arg(listen)
+        .arg("--watchdog-ms")
+        .arg("10")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("daemon binary must spawn");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+            let addr = addr.trim().to_string();
+            if !addr.is_empty() {
+                if let Ok(mut c) = Client::connect(&addr) {
+                    if c.ping().is_ok() {
+                        return Daemon { child, addr };
+                    }
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon did not come up within 30s");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// SIGKILL — no warning, no cleanup, exactly what the contract promises
+/// to survive.
+fn kill(mut d: Daemon) {
+    d.child.kill().expect("kill daemon");
+    d.child.wait().expect("reap daemon");
+}
+
+/// Waits for the daemon process to exit on its own (after `drain`).
+fn wait_exit(mut d: Daemon) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if d.child.try_wait().expect("poll daemon").is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit after drain");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Polls until every named job has requested at least one trace batch —
+/// i.e. the kill that follows lands mid-campaign, not before work began.
+fn wait_mid_run(c: &mut Client, jobs: &[&str]) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    for job in jobs {
+        loop {
+            let st = c.status(job).unwrap();
+            if st.get_u64("traces_requested").unwrap_or(0) > 0 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {job} never started acquiring");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+fn export_artifact(store: &Path) {
+    if let Ok(dir) = std::env::var("ORCH_ARTIFACT_DIR") {
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::copy(
+            store.join("events.jsonl"),
+            Path::new(&dir).join("daemon_torture_events.jsonl"),
+        );
+    }
+}
+
+#[test]
+fn sigkill_and_restart_converge_bit_identically() {
+    let spec_a = torture_spec("tort-dmn-a");
+    let spec_b = torture_spec("tort-dmn-b");
+    let want_a = reference_bits(&spec_a, "ref-a");
+    let want_b = reference_bits(&spec_b, "ref-b");
+    let store = tmp_dir("store");
+
+    // Boot #1: submit both jobs, then SIGKILL at the submit boundary —
+    // before either job has acquired a single trace.
+    let d1 = start_daemon(&store, "127.0.0.1:0");
+    let mut c = Client::connect(&d1.addr).unwrap();
+    c.submit(&spec_a).unwrap();
+    c.submit(&spec_b).unwrap();
+    assert_eq!(c.jobs().unwrap().len(), 2);
+    kill(d1);
+
+    // Boot #2: recovery adopts both; SIGKILL again once both are
+    // provably mid-campaign.
+    let d2 = start_daemon(&store, "127.0.0.1:0");
+    let mut c = Client::connect(&d2.addr).unwrap();
+    wait_mid_run(&mut c, &[&spec_a.name, &spec_b.name]);
+    kill(d2);
+
+    // Boot #3: both jobs must converge, bit-identical to the
+    // uninterrupted reference runs.
+    let d3 = start_daemon(&store, "127.0.0.1:0");
+    let mut c = Client::connect(&d3.addr).unwrap();
+    let st_a = c.wait_state(&spec_a.name, &["done"], 180_000).unwrap();
+    let st_b = c.wait_state(&spec_b.name, &["done"], 180_000).unwrap();
+    assert_eq!(
+        parse_csv(st_a.get_str("bits").unwrap()).unwrap(),
+        want_a,
+        "job A diverged from its uninterrupted run"
+    );
+    assert_eq!(
+        parse_csv(st_b.get_str("bits").unwrap()).unwrap(),
+        want_b,
+        "job B diverged from its uninterrupted run"
+    );
+
+    c.drain().unwrap();
+    wait_exit(d3);
+    export_artifact(&store);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_control_plane_round_trips() {
+    let store = tmp_dir("unix");
+    let sock = store.join("ctl.sock");
+    let d = start_daemon(&store, &format!("unix:{}", sock.display()));
+    assert!(d.addr.starts_with("unix:"), "advertised addr: {}", d.addr);
+    let mut c = Client::connect(&d.addr).unwrap();
+    c.ping().unwrap();
+    assert_eq!(c.jobs().unwrap().len(), 0);
+    c.drain().unwrap();
+    wait_exit(d);
+    let _ = std::fs::remove_dir_all(&store);
+}
