@@ -20,7 +20,7 @@
 //!   correlation matrices behind Figure 4.
 
 use crate::acquire::Dataset;
-use crate::cpa::{CorrMatrix, PearsonSums};
+use crate::cpa::{CorrMatrix, PearsonSums, SampleSums};
 use crate::exec;
 use crate::model::{
     assemble_coefficient, hyp_add_hi, hyp_add_lo, hyp_exponent_with_carry, hyp_partial_product,
@@ -53,18 +53,26 @@ fn attack_metrics() -> &'static AttackMetrics {
     })
 }
 
-/// Tuning knobs for the incremental recovery.
+/// Tuning knobs for the mantissa recovery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackConfig {
     /// Bits added per extend level.
     pub step_bits: u32,
     /// Candidates kept after each level.
     pub beam_width: usize,
+    /// When non-zero, the mantissa halves are recovered by the paper's
+    /// **monolithic** one-shot enumeration — all 2^25 / 2^27 guesses
+    /// scored in cache-sized blocks — instead of the incremental beam,
+    /// keeping this many top extend candidates for the prune re-rank.
+    /// `0` (the default) selects incremental extend-and-prune. Flows
+    /// through [`CampaignConfig`](crate::CampaignConfig) unchanged, so a
+    /// campaign *is* the paper's full-scale attack when this is set.
+    pub monolithic_keep: usize,
 }
 
 impl Default for AttackConfig {
     fn default() -> Self {
-        AttackConfig { step_bits: 8, beam_width: 64 }
+        AttackConfig { step_bits: 8, beam_width: 64, monolithic_keep: 0 }
     }
 }
 
@@ -137,13 +145,41 @@ fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColum
     }
 }
 
+/// Precomputed candidate-independent sample sums of the prune columns,
+/// shared by every candidate in a prune re-rank.
+struct PruneSums {
+    prune: [SampleSums; 2],
+    extra: [SampleSums; 2],
+}
+
 impl TargetColumns<'_> {
+    /// Sample-side sums of every product column, truncated to
+    /// `max_points`, for one extend level: the sample statistics are
+    /// candidate-independent, so each beam level accumulates them once
+    /// here instead of once per scored candidate.
+    fn extend_sums(&self, max_points: usize) -> Vec<SampleSums> {
+        self.cols
+            .iter()
+            .map(|(kn, samples)| SampleSums::new(&samples[..kn.len().min(max_points)]))
+            .collect()
+    }
+
+    /// Sample-side sums of the prune and cross-half columns.
+    fn prune_sums(&self) -> PruneSums {
+        PruneSums {
+            prune: [0, 1].map(|occ| SampleSums::new(self.prune[occ])),
+            extra: [0, 1].map(|occ| SampleSums::new(self.extra_prune[occ])),
+        }
+    }
+
     /// Correlation of the partial-product model for `cand` (low `m_bits`
     /// of the secret half) across all product columns, together with the
     /// hypothesis variance (a candidate with near-constant hypotheses is
     /// statistically handicapped in the correlation ranking, not
     /// refuted). `scratch` is the caller's reusable hypothesis buffer —
-    /// its prior contents are irrelevant.
+    /// its prior contents are irrelevant; `sums` must come from
+    /// [`extend_sums`](TargetColumns::extend_sums) at the same
+    /// `max_points`.
     fn extend_score(
         &self,
         scratch: &mut Vec<f64>,
@@ -151,21 +187,22 @@ impl TargetColumns<'_> {
         m_bits: u32,
         full_width: u32,
         max_points: usize,
+        sums: &[SampleSums],
     ) -> (f64, f64) {
         // Pearson over the concatenation of all columns, capped at
         // `max_points` per column (intermediate beam levels only need
         // enough statistics to keep the truth alive; the final level and
         // the prune always use the full campaign).
-        let mut sums = PearsonSums::default();
-        for (kn, samples) in &self.cols {
+        let mut acc = PearsonSums::default();
+        for ((kn, samples), ss) in self.cols.iter().zip(sums) {
             let take = kn.len().min(max_points);
             scratch.clear();
             scratch.extend(
                 kn[..take].iter().map(|&k| hyp_partial_product(cand, m_bits, k, full_width)),
             );
-            sums.push_column(scratch, &samples[..take]);
+            acc.push_column_reusing(scratch, &samples[..take], ss);
         }
-        (sums.corr(), sums.hyp_variance())
+        (acc.corr(), acc.hyp_variance())
     }
 
     /// Correlation of the exact addition (prune) model. For the low half
@@ -179,28 +216,29 @@ impl TargetColumns<'_> {
         half: SecretHalf,
         cand: u64,
         other_half: Option<u64>,
+        sums: &PruneSums,
     ) -> f64 {
-        let mut sums = PearsonSums::default();
+        let mut acc = PearsonSums::default();
         for (occ, kn) in self.knowns.iter().enumerate() {
             match half {
                 SecretHalf::Low => {
                     scratch.clear();
                     scratch.extend(kn.iter().map(|k| hyp_add_lo(cand, k)));
-                    sums.push_column(scratch, self.prune[occ]);
+                    acc.push_column_reusing(scratch, self.prune[occ], &sums.prune[occ]);
                     if let Some(c_hi) = other_half {
                         scratch.clear();
                         scratch.extend(kn.iter().map(|k| hyp_add_hi(c_hi, cand, k)));
-                        sums.push_column(scratch, self.extra_prune[occ]);
+                        acc.push_column_reusing(scratch, self.extra_prune[occ], &sums.extra[occ]);
                     }
                 }
                 SecretHalf::High => {
                     scratch.clear();
                     scratch.extend(kn.iter().map(|k| hyp_add_hi(cand, other_half.unwrap_or(0), k)));
-                    sums.push_column(scratch, self.prune[occ]);
+                    acc.push_column_reusing(scratch, self.prune[occ], &sums.prune[occ]);
                 }
             }
         }
-        sums.corr()
+        acc.corr()
     }
 }
 
@@ -256,8 +294,10 @@ pub fn recover_mantissa_half(
         let max_points = if next == full_width { usize::MAX } else { 4000 };
         m.candidates.record(cands.len() as f64);
         m.correlations.add(cands.len() as u64);
+        // Sample-side sums once per level, not once per candidate.
+        let col_sums = tc.extend_sums(max_points);
         let scores = exec::map_with(&cands, Vec::new, |scratch, &c| {
-            tc.extend_score(scratch, c, next, full_width, max_points)
+            tc.extend_score(scratch, c, next, full_width, max_points, &col_sums)
         });
         // Correlation handicaps candidates with low hypothesis variance
         // (prefixes with trailing zero bits modulate few product bits; an
@@ -286,14 +326,29 @@ pub fn recover_mantissa_half(
         beam.append(&mut protected);
         m_bits = next;
     }
-    // The multiplication cannot separate shift families at all: for even
-    // `d`, `HW(d·B) = HW((d/2)·B)` exactly, so the extend phase pins down
-    // an equivalence class rather than a value (the paper's false
-    // positives). Close the class explicitly — add every in-range shift
-    // of each survivor — and let the addition decide.
+    let final_set = shift_family_closure(&beam, full_width, half);
+
+    // Prune phase: re-rank the candidates against the intermediate
+    // addition.
+    m.candidates.record(final_set.len() as f64);
+    m.correlations.add(final_set.len() as u64);
+    let psums = tc.prune_sums();
+    let scores = exec::map_with(&final_set, Vec::new, |scratch, &c| {
+        tc.prune_score(scratch, half, c, other_half, &psums)
+    });
+    let scored: Vec<(u64, f64)> = final_set.into_iter().zip(scores).collect();
+    top_two(&scored)
+}
+
+/// The multiplication cannot separate shift families at all: for even
+/// `d`, `HW(d·B) = HW((d/2)·B)` exactly, so the extend phase pins down
+/// an equivalence class rather than a value (the paper's false
+/// positives). Close the class explicitly — add every in-range shift of
+/// each survivor — and let the addition decide.
+fn shift_family_closure(beam: &[u64], full_width: u32, half: SecretHalf) -> Vec<u64> {
     let mask = (1u64 << full_width) - 1;
-    let mut final_set = beam.clone();
-    for &c in &beam {
+    let mut final_set = beam.to_vec();
+    for &c in beam {
         for k in 1..full_width {
             final_set.push(c >> k);
             let up = (c << k) & mask;
@@ -305,18 +360,98 @@ pub fn recover_mantissa_half(
     if half == SecretHalf::High {
         final_set.retain(|c| c >> 27 == 1);
         if final_set.is_empty() {
-            final_set = beam;
+            final_set = beam.to_vec();
         }
     }
     final_set.sort_unstable();
     final_set.dedup();
+    final_set
+}
 
-    // Prune phase: re-rank the candidates against the intermediate
-    // addition.
+/// The paper's **monolithic** recovery of one mantissa half: a one-shot
+/// enumeration of all `2^width` guesses of the half's low window (`rest`
+/// supplies the high bits when a narrower window is attacked; `rest = 0`
+/// with the full 25/28-bit width is the paper's 2^25/2^27 headline
+/// mode), extend-scored in cache-sized blocks, then prune re-ranked.
+///
+/// Blocking serves the memory hierarchy: within one block the borrowed
+/// sample columns stay cache-hot while thousands of hypothesis columns
+/// stream past them, and the candidate-independent Σt/Σt² lanes are
+/// accumulated once per call rather than once per guess. Blocks are
+/// scored through the deterministic executor and merged by a total
+/// order (`corr` desc, guess asc), so the result is bit-reproducible
+/// across thread counts and SIMD kernels like every other attack path.
+///
+/// `keep` bounds the survivors handed to the prune step (their shift
+/// families are closed first, exactly like the incremental path).
+pub fn recover_mantissa_half_monolithic(
+    ds: &Dataset,
+    target: usize,
+    half: SecretHalf,
+    other_half: Option<u64>,
+    width: u32,
+    rest: u64,
+    keep: usize,
+) -> ComponentResult {
+    let _span = obs::span("attack.monolithic");
+    let m = attack_metrics();
+    let full_width = match half {
+        SecretHalf::Low => 25,
+        SecretHalf::High => 28,
+    };
+    let keep = keep.max(1);
+    let tc = product_columns(ds, target, half);
+    // Monolithic scoring always uses the whole campaign: one shot is the
+    // point.
+    let col_sums = tc.extend_sums(usize::MAX);
+    const BLOCK: u64 = 4096;
+    let total = 1u64 << width;
+    let blocks: Vec<u64> = (0..total.div_ceil(BLOCK)).collect();
+    m.candidates.record(total as f64);
+    m.correlations.add(total);
+    let block_tops = exec::map_with(&blocks, Vec::new, |scratch: &mut Vec<f64>, &blk| {
+        let (start, end) = (blk * BLOCK, (blk * BLOCK + BLOCK).min(total));
+        let mut top: Vec<(u64, f64)> = Vec::with_capacity(2 * keep + 1);
+        for g in start..end {
+            let cand = (rest << width) | g;
+            if half == SecretHalf::High && width == full_width && cand >> 27 != 1 {
+                // The implicit leading one pins bit 27.
+                continue;
+            }
+            let (r, _) =
+                tc.extend_score(scratch, cand, full_width, full_width, usize::MAX, &col_sums);
+            top.push((cand, r));
+            if top.len() == 2 * keep {
+                // Keep the block's running top-`keep` under a total
+                // order; anything truncated here can never re-enter the
+                // global top-`keep`.
+                top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                top.truncate(keep);
+            }
+        }
+        top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        top.truncate(keep);
+        top
+    });
+    let mut merged: Vec<(u64, f64)> = block_tops.into_iter().flatten().collect();
+    merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    merged.truncate(keep);
+    let mut survivors: Vec<u64> = merged.into_iter().map(|(c, _)| c).collect();
+    // The all-zero window predicts constant products — unfalsifiable by
+    // the extend score (correlation 0), decidable only by the prune
+    // addition. Keep it alive explicitly, like the incremental beam's
+    // low-variance protection does.
+    let zero_cand = rest << width;
+    let zero_plausible = half != SecretHalf::High || width != full_width;
+    if zero_plausible && !survivors.contains(&zero_cand) {
+        survivors.push(zero_cand);
+    }
+    let final_set = shift_family_closure(&survivors, full_width, half);
     m.candidates.record(final_set.len() as f64);
     m.correlations.add(final_set.len() as u64);
+    let psums = tc.prune_sums();
     let scores = exec::map_with(&final_set, Vec::new, |scratch, &c| {
-        tc.prune_score(scratch, half, c, other_half)
+        tc.prune_score(scratch, half, c, other_half, &psums)
     });
     let scored: Vec<(u64, f64)> = final_set.into_iter().zip(scores).collect();
     top_two(&scored)
@@ -398,6 +533,10 @@ pub fn recover_sign_exponent(
     }
     let cands: Vec<(u32, u32)> =
         (0u32..2).flat_map(|sign| (1u32..2047).map(move |ef| (sign, ef))).collect();
+    // The three sample columns are shared by all 2×2046 candidates:
+    // accumulate their Σt/Σt² lanes once.
+    let (load_sums, exp_sums, sign_sums) =
+        (SampleSums::new(&s_load), SampleSums::new(&s_exp), SampleSums::new(&s_sign));
     let scores = exec::map_with(&cands, Vec::new, |scratch: &mut Vec<f64>, &(sign, ef)| {
         let top = (sign << 11) | ef;
         let mut sums = PearsonSums::default();
@@ -408,13 +547,13 @@ pub fn recover_sign_exponent(
                 .zip(&rot_top)
                 .map(|(&lhw, &rt)| (lhw + (top ^ rt).count_ones()) as f64),
         );
-        sums.push_column(scratch, &s_load);
+        sums.push_column_reusing(scratch, &s_load, &load_sums);
         scratch.clear();
         scratch.extend(exp_base.iter().map(|&eb| ((eb + ef as i32) as u32).count_ones() as f64));
-        sums.push_column(scratch, &s_exp);
+        sums.push_column_reusing(scratch, &s_exp, &exp_sums);
         scratch.clear();
         scratch.extend(k_sign.iter().map(|&ks| (sign ^ ks) as f64));
-        sums.push_column(scratch, &s_sign);
+        sums.push_column_reusing(scratch, &s_sign, &sign_sums);
         sums.corr()
     });
     let scored: Vec<(u64, f64)> = cands
@@ -474,17 +613,46 @@ pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> Co
     let samples: [&[f32]; 2] =
         [0, 1].map(|occ| ds.sample_column(target, occ, StepKind::ExponentAdd));
     let guesses: Vec<u64> = (1..2047).collect();
+    let sample_sums: [SampleSums; 2] = [0, 1].map(|occ| SampleSums::new(samples[occ]));
     let scores = exec::map_with(&guesses, Vec::new, |scratch: &mut Vec<f64>, &ef| {
         let mut sums = PearsonSums::default();
         for (occ, kn) in knowns.iter().enumerate() {
             scratch.clear();
             scratch.extend(kn.iter().map(|k| hyp_exponent_with_carry(ef as u32, c_hi, d_lo, k)));
-            sums.push_column(scratch, samples[occ]);
+            sums.push_column_reusing(scratch, samples[occ], &sample_sums[occ]);
         }
         sums.corr()
     });
     let scored: Vec<(u64, f64)> = guesses.into_iter().zip(scores).collect();
     top_two(&scored)
+}
+
+/// One mantissa half via the mode the config selects: incremental
+/// extend-and-prune, or the paper's monolithic full-width enumeration.
+fn recover_half(
+    ds: &Dataset,
+    target: usize,
+    half: SecretHalf,
+    other_half: Option<u64>,
+    cfg: &AttackConfig,
+) -> ComponentResult {
+    if cfg.monolithic_keep > 0 {
+        let full_width = match half {
+            SecretHalf::Low => 25,
+            SecretHalf::High => 28,
+        };
+        recover_mantissa_half_monolithic(
+            ds,
+            target,
+            half,
+            other_half,
+            full_width,
+            0,
+            cfg.monolithic_keep,
+        )
+    } else {
+        recover_mantissa_half(ds, target, half, other_half, cfg)
+    }
 }
 
 /// Recovers one full `FFT(f)` coefficient by divide-and-conquer.
@@ -496,10 +664,10 @@ pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> C
     // each other's latest estimate until the pair is stable. This also
     // resolves the degenerate all-zero low half, which is invisible to
     // its own products and only betrayed by the cross-half accumulation.
-    let mut mant_lo = recover_mantissa_half(ds, target, SecretHalf::Low, None, cfg);
-    let mut mant_hi = recover_mantissa_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+    let mut mant_lo = recover_half(ds, target, SecretHalf::Low, None, cfg);
+    let mut mant_hi = recover_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
     for _ in 0..2 {
-        let lo = recover_mantissa_half(ds, target, SecretHalf::Low, Some(mant_hi.value), cfg);
+        let lo = recover_half(ds, target, SecretHalf::Low, Some(mant_hi.value), cfg);
         let lo_stable = lo.value == mant_lo.value;
         mant_lo = lo;
         if lo_stable {
@@ -507,7 +675,7 @@ pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> C
             // half, so re-running it would reproduce itself.
             break;
         }
-        let hi = recover_mantissa_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+        let hi = recover_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
         let hi_stable = hi.value == mant_hi.value;
         mant_hi = hi;
         if hi_stable {
@@ -559,6 +727,7 @@ pub fn recover_all_verified(ds: &Dataset, cfg: &AttackConfig) -> Vec<(Coefficien
     let wide = AttackConfig {
         step_bits: cfg.step_bits.saturating_sub(2).max(4),
         beam_width: cfg.beam_width * 8,
+        monolithic_keep: cfg.monolithic_keep.saturating_mul(8),
     };
     for (i, &t) in ds.targets().iter().enumerate() {
         if out[i].1 >= cutoff {
@@ -783,5 +952,90 @@ mod tests {
         // guess too, but with close companions (shift family).
         let (s_ext, c_ext) = extend.peak(correct_idx);
         assert!(c_ext > 0.2, "extend peak too weak: {c_ext} at {s_ext}");
+    }
+
+    /// Truth mantissa halves of a planted secret, as the attack splits
+    /// them.
+    fn truth_halves(secret: u64) -> (u64, u64) {
+        let m = falcon_fpr::Fpr::from_bits(secret).mantissa_bits() | (1 << 52);
+        (m & 0x1FF_FFFF, m >> 25)
+    }
+
+    #[test]
+    fn monolithic_recovery_matches_incremental_on_windows() {
+        // Windowed monolithic recovery (the same machinery as the
+        // full-width paper mode, parameterised down so the test runs in
+        // milliseconds) must land on the exact same half values as the
+        // incremental beam.
+        let secret = 0x4013_5A7E_29C4_D1B3u64;
+        let knowns: Vec<u64> = (0..64)
+            .map(|i: u64| {
+                let m = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << 52) - 1);
+                (1031u64 << 52) | m
+            })
+            .collect();
+        let ds = synthetic_dataset(secret, &knowns);
+        let (d_lo, c_hi) = truth_halves(secret);
+        let width = 10u32;
+        let lo = recover_mantissa_half_monolithic(
+            &ds,
+            0,
+            SecretHalf::Low,
+            Some(c_hi),
+            width,
+            d_lo >> width,
+            32,
+        );
+        assert_eq!(lo.value, d_lo, "monolithic low {:#x}, truth {:#x}", lo.value, d_lo);
+        assert!(lo.corr > lo.runner_up);
+        let hi = recover_mantissa_half_monolithic(
+            &ds,
+            0,
+            SecretHalf::High,
+            Some(d_lo),
+            width,
+            c_hi >> width,
+            32,
+        );
+        assert_eq!(hi.value, c_hi, "monolithic high {:#x}, truth {:#x}", hi.value, c_hi);
+    }
+
+    #[test]
+    fn monolithic_keeps_all_zero_window_alive() {
+        // The all-zero window is unfalsifiable by the extend score; the
+        // monolithic path must protect it just like the beam does.
+        let secret = (1027u64 << 52) | (0x7F << 30); // low 25 mantissa bits zero
+        let knowns: Vec<u64> = (0..40)
+            .map(|i: u64| {
+                let m = i.wrapping_mul(0x2545_F491_4F6C_DD1D) & ((1u64 << 52) - 1);
+                (1030u64 << 52) | m
+            })
+            .collect();
+        let ds = synthetic_dataset(secret, &knowns);
+        let (d_lo, c_hi) = truth_halves(secret);
+        assert_eq!(d_lo, 0, "test premise: degenerate low half");
+        let width = 8u32;
+        let lo =
+            recover_mantissa_half_monolithic(&ds, 0, SecretHalf::Low, Some(c_hi), width, 0, 16);
+        assert_eq!(lo.value, 0, "monolithic low {:#x}", lo.value);
+    }
+
+    #[test]
+    #[ignore = "paper-scale 2^25 enumeration: minutes on one core; run explicitly"]
+    fn monolithic_full_width_low_half() {
+        // The real thing: the full 2^25 one-shot enumeration of the low
+        // mantissa half, as a campaign would run it with
+        // `monolithic_keep` set.
+        let secret = 0x4013_5A7E_29C4_D1B3u64;
+        let knowns: Vec<u64> = (0..16)
+            .map(|i: u64| {
+                let m = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u64 << 52) - 1);
+                (1031u64 << 52) | m
+            })
+            .collect();
+        let ds = synthetic_dataset(secret, &knowns);
+        let (d_lo, c_hi) = truth_halves(secret);
+        let lo = recover_mantissa_half_monolithic(&ds, 0, SecretHalf::Low, Some(c_hi), 25, 0, 64);
+        assert_eq!(lo.value, d_lo, "monolithic low {:#x}, truth {:#x}", lo.value, d_lo);
     }
 }

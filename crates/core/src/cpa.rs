@@ -5,6 +5,19 @@
 //! module provides the plain estimator, a guesses×samples accumulation
 //! matrix for correlation-versus-time plots, and prefix series for
 //! correlation-versus-trace-count evolution plots.
+//!
+//! The inner tile of [`PearsonSums::push_column`] dispatches to the
+//! [`simd`] submodule: runtime-detected AVX2/NEON kernels that
+//! reproduce the scalar four-lane reference bit-for-bit, selected once
+//! per process via `FALCON_DEMA_SIMD` / [`simd::set_kernel`].
+
+// The simd module holds the workspace's only unsafe code (std::arch
+// intrinsics), audited by falcon-ct: module allowlisted, every block
+// under `// SAFETY:`.
+#[allow(unsafe_code)]
+pub mod simd;
+
+use simd::TILE_LANES;
 
 /// Streaming Pearson accumulator over `(hypothesis, sample)` pairs.
 ///
@@ -33,12 +46,6 @@ pub struct PearsonSums {
     sht: f64,
 }
 
-/// Lanes of the [`PearsonSums::push_column`] tile kernel. The lane
-/// count is part of the numeric contract: it fixes the floating-point
-/// summation order, which keeps results bit-identical across thread
-/// counts and call sites.
-const TILE_LANES: usize = 4;
-
 impl PearsonSums {
     /// Absorbs one `(hypothesis, sample)` pair.
     #[inline]
@@ -57,45 +64,69 @@ impl PearsonSums {
     /// Accumulation runs in [`TILE_LANES`] independent lanes (lane `j`
     /// sums every `TILE_LANES`-th element) folded in a fixed order, so
     /// the result is deterministic — independent of thread count and of
-    /// how a caller splits its columns — while giving the compiler
-    /// reassociation-free instruction-level parallelism the scalar
-    /// `push` chain cannot express.
+    /// how a caller splits its columns — while exposing
+    /// reassociation-free data parallelism the scalar `push` chain
+    /// cannot express. The lane accumulation dispatches to the active
+    /// [`simd`] kernel; every kernel reproduces the scalar reference
+    /// bit-for-bit, so the dispatch is invisible to results.
     ///
     /// # Panics
     ///
     /// Panics when the column lengths differ.
     pub fn push_column(&mut self, hyps: &[f64], samples: &[f32]) {
         assert_eq!(hyps.len(), samples.len(), "hypothesis and sample columns must align");
-        const L: usize = TILE_LANES;
-        let mut sh = [0f64; L];
-        let mut sh2 = [0f64; L];
-        let mut st = [0f64; L];
-        let mut st2 = [0f64; L];
-        let mut sht = [0f64; L];
-        let hc = hyps.chunks_exact(L);
-        let sc = samples.chunks_exact(L);
-        let (hr, sr) = (hc.remainder(), sc.remainder());
-        for (hh, ss) in hc.zip(sc) {
-            for j in 0..L {
-                let h = hh[j];
-                let t = ss[j] as f64;
-                sh[j] += h;
-                sh2[j] += h * h;
-                st[j] += t;
-                st2[j] += t * t;
-                sht[j] += h * t;
-            }
-        }
+        let lanes = simd::tile_lanes(hyps, samples);
         // Fold the lanes in index order, then the tail pairs in sequence
         // — one fixed summation order per (lengths, contents) input.
-        for j in 0..L {
-            self.sh += sh[j];
-            self.sh2 += sh2[j];
-            self.st += st[j];
-            self.st2 += st2[j];
-            self.sht += sht[j];
+        for j in 0..TILE_LANES {
+            self.sh += lanes.sh[j];
+            self.sh2 += lanes.sh2[j];
+            self.st += lanes.st[j];
+            self.st2 += lanes.st2[j];
+            self.sht += lanes.sht[j];
         }
-        for (&h, &t) in hr.iter().zip(sr) {
+        let n = hyps.len() - hyps.len() % TILE_LANES;
+        for (&h, &t) in hyps[n..].iter().zip(&samples[n..]) {
+            let t = t as f64;
+            self.sh += h;
+            self.sh2 += h * h;
+            self.st += t;
+            self.st2 += t * t;
+            self.sht += h * t;
+        }
+        self.d += hyps.len() as f64;
+    }
+
+    /// [`push_column`](PearsonSums::push_column) with the
+    /// candidate-independent sample statistics taken from a precomputed
+    /// [`SampleSums`] instead of re-accumulated per call.
+    ///
+    /// In the extend-and-prune beam every candidate at a level
+    /// correlates against the *same* sample columns; only the
+    /// hypothesis side changes. Reusing Σt/Σt² skips two of the five
+    /// accumulation streams, and because each of this struct's fields
+    /// has its own independent addition chain (lane fold in index
+    /// order, then the tail in sequence — exactly the order
+    /// [`SampleSums::new`] recorded), the result is **bit-identical**
+    /// to calling `push_column` directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column lengths differ, or when `sums` was built
+    /// from a column of a different length.
+    pub fn push_column_reusing(&mut self, hyps: &[f64], samples: &[f32], sums: &SampleSums) {
+        assert_eq!(hyps.len(), samples.len(), "hypothesis and sample columns must align");
+        assert_eq!(samples.len(), sums.len, "SampleSums built from a different column length");
+        let lanes = simd::tile_lanes_hyp(hyps, samples);
+        for j in 0..TILE_LANES {
+            self.sh += lanes.sh[j];
+            self.sh2 += lanes.sh2[j];
+            self.st += sums.st[j];
+            self.st2 += sums.st2[j];
+            self.sht += lanes.sht[j];
+        }
+        let n = hyps.len() - hyps.len() % TILE_LANES;
+        for (&h, &t) in hyps[n..].iter().zip(&samples[n..]) {
             let t = t as f64;
             self.sh += h;
             self.sh2 += h * h;
@@ -137,6 +168,135 @@ impl PearsonSums {
     /// True when nothing has been absorbed yet.
     pub fn is_empty(&self) -> bool {
         self.d == 0.0
+    }
+
+    /// The raw accumulator state `[d, Σh, Σh², Σt, Σt², Σht]`.
+    ///
+    /// Exposed so the kernel differential suite can assert
+    /// **bit-identity** of the sums themselves across SIMD/scalar paths
+    /// — a strictly stronger check than comparing the final `corr()`.
+    pub fn components(&self) -> [f64; 6] {
+        [self.d, self.sh, self.sh2, self.st, self.st2, self.sht]
+    }
+}
+
+/// Precomputed candidate-independent sample statistics for
+/// [`PearsonSums::push_column_reusing`]: the per-lane Σt/Σt² partials of
+/// one sample column, in exactly the lane structure the tile kernel
+/// produces (so replaying them preserves the bitwise summation order).
+///
+/// Build one per sample column per beam level; every candidate at that
+/// level then skips the sample-side accumulation entirely.
+#[derive(Debug, Clone)]
+pub struct SampleSums {
+    st: [f64; TILE_LANES],
+    st2: [f64; TILE_LANES],
+    len: usize,
+}
+
+impl SampleSums {
+    /// Accumulates the sample-side lane partials of `samples`.
+    pub fn new(samples: &[f32]) -> SampleSums {
+        let mut st = [0f64; TILE_LANES];
+        let mut st2 = [0f64; TILE_LANES];
+        // The same lane schedule as the tile kernels: lane j sums every
+        // TILE_LANES-th element. (Tail elements are replayed from the
+        // column itself at use sites, so they are not recorded here.)
+        for ss in samples.chunks_exact(TILE_LANES) {
+            for j in 0..TILE_LANES {
+                let t = ss[j] as f64;
+                st[j] += t;
+                st2[j] += t * t;
+            }
+        }
+        SampleSums { st, st2, len: samples.len() }
+    }
+
+    /// Length of the column these sums were built from.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when built from an empty column.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Precomputed candidate-independent moments of one sample column for
+/// [`pearson_with_moments`]: the mean and the centered second moment
+/// `Σ(t − t̄)²`, accumulated in exactly the element order [`pearson`]
+/// uses so reuse is bit-invisible.
+///
+/// The NTT attack correlates thousands of guesses against the *same*
+/// sample column; precomputing the sample side once halves the two-pass
+/// estimator's per-guess stream count.
+#[derive(Debug, Clone, Copy)]
+pub struct SampleMoments {
+    mean_t: f64,
+    vt: f64,
+    len: usize,
+}
+
+impl SampleMoments {
+    /// Two-pass sample-side moments of `samples`.
+    pub fn new(samples: &[f32]) -> SampleMoments {
+        if samples.is_empty() {
+            return SampleMoments { mean_t: 0.0, vt: 0.0, len: 0 };
+        }
+        let d = samples.len() as f64;
+        // ct: allow(pinned fold kernel: sequential in-order slice sum)
+        let mean_t = samples.iter().map(|&t| t as f64).sum::<f64>() / d;
+        let mut vt = 0f64;
+        for &t in samples {
+            let dt = t as f64 - mean_t;
+            vt += dt * dt;
+        }
+        SampleMoments { mean_t, vt, len: samples.len() }
+    }
+
+    /// Length of the column these moments were built from.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when built from an empty column.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// [`pearson`] with the sample-side pass taken from a precomputed
+/// [`SampleMoments`]. Bit-identical to calling [`pearson`] directly:
+/// the mean, covariance and both variance accumulations are independent
+/// addition chains, and the reused ones were recorded in the same
+/// element order.
+///
+/// # Panics
+///
+/// Panics when the column lengths differ, or when `moments` was built
+/// from a column of a different length.
+pub fn pearson_with_moments(hyps: &[f64], samples: &[f32], moments: &SampleMoments) -> f64 {
+    assert_eq!(hyps.len(), samples.len());
+    assert_eq!(samples.len(), moments.len, "SampleMoments built from a different column length");
+    if hyps.is_empty() {
+        return 0.0;
+    }
+    let d = hyps.len() as f64;
+    // ct: allow(pinned fold kernel: sequential in-order slice sum)
+    let mean_h = hyps.iter().sum::<f64>() / d;
+    let (mut c, mut vh) = (0f64, 0f64);
+    for (&h, &t) in hyps.iter().zip(samples) {
+        let dh = h - mean_h;
+        let dt = t as f64 - moments.mean_t;
+        c += dh * dt;
+        vh += dh * dh;
+    }
+    let den = (vh * moments.vt).sqrt();
+    if den <= 0.0 {
+        0.0
+    } else {
+        c / den
     }
 }
 
@@ -487,6 +647,40 @@ mod tests {
         assert_eq!(a.corr().to_bits(), b.corr().to_bits());
         assert_eq!(a.hyp_variance().to_bits(), b.hyp_variance().to_bits());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn sample_sum_reuse_is_bit_identical() {
+        // Reusing precomputed Σt/Σt² lanes must be invisible at the bit
+        // level — the beam relies on this to keep kernel choice and sum
+        // reuse out of the determinism surface.
+        for len in [0usize, 1, 5, 64, 101, 257] {
+            let h: Vec<f64> = (0..len).map(|i| ((i * 37) % 61) as f64 - 30.0).collect();
+            let t: Vec<f32> = (0..len).map(|i| ((i * 13 + 5) % 53) as f32 / 3.0).collect();
+            let mut direct = PearsonSums::default();
+            direct.push_column(&h, &t);
+            let sums = SampleSums::new(&t);
+            assert_eq!(sums.len(), len);
+            let mut reused = PearsonSums::default();
+            reused.push_column_reusing(&h, &t, &sums);
+            let db = direct.components().map(f64::to_bits);
+            let rb = reused.components().map(f64::to_bits);
+            assert_eq!(db, rb, "len={len}");
+        }
+    }
+
+    #[test]
+    fn sample_moment_reuse_is_bit_identical() {
+        for len in [0usize, 1, 7, 200, 2000] {
+            let h: Vec<f64> = (0..len).map(|i| ((i * 29) % 47) as f64).collect();
+            let t: Vec<f32> =
+                (0..len).map(|i| (1.0e7 + ((i * 17) % 41) as f64 * 16.0) as f32).collect();
+            let moments = SampleMoments::new(&t);
+            assert_eq!(moments.len(), len);
+            let direct = pearson(&h, &t);
+            let reused = pearson_with_moments(&h, &t, &moments);
+            assert_eq!(direct.to_bits(), reused.to_bits(), "len={len}");
+        }
     }
 
     #[test]

@@ -39,7 +39,12 @@
 //! assert_eq!(r.bits, truth);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one audited exception can opt in:
+// `cpa::simd` carries a module-scoped `#[allow(unsafe_code)]` for its
+// std::arch intrinsics, and the falcon-ct unsafe audit holds every
+// block there to a `// SAFETY:` comment. Everything else in the crate
+// still refuses unsafe at compile time.
+#![deny(unsafe_code)]
 
 /// Observability substrate (re-export of the standalone `falcon-obs`
 /// crate): metrics registry, timing spans and the structured event sink
@@ -66,8 +71,8 @@ pub mod template;
 pub use acquire::Dataset;
 pub use attack::recover_sign_exponent;
 pub use attack::{
-    monolithic_correlations, recover_all, recover_coefficient, AttackConfig, CoefficientResult,
-    ComponentResult,
+    monolithic_correlations, recover_all, recover_coefficient, recover_mantissa_half_monolithic,
+    AttackConfig, CoefficientResult, ComponentResult,
 };
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, CoefficientStatus};
 pub use error::{Error, Result};

@@ -46,10 +46,14 @@ pub fn attack_ntt_coefficient(
     let truth = device.f_ntt()[index];
 
     let guesses: Vec<u32> = (0..Q).collect();
+    // Every guess correlates against the same sample column: precompute
+    // its mean/variance pass once and amortise it over all q guesses
+    // (bit-identical to calling `pearson` per guess).
+    let moments = crate::cpa::SampleMoments::new(&samples);
     let scores = crate::exec::map_with(&guesses, Vec::new, |hyps: &mut Vec<f64>, &g| {
         hyps.clear();
         hyps.extend(knowns.iter().map(|&k| mq_mul(k, g).count_ones() as f64));
-        crate::cpa::pearson(hyps, &samples)
+        crate::cpa::pearson_with_moments(hyps, &samples, &moments)
     });
 
     let mut best = (0u32, f64::NEG_INFINITY);

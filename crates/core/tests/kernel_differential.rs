@@ -1,0 +1,215 @@
+//! Differential suite for the SIMD Pearson tile kernels.
+//!
+//! The contract under test: every kernel (`scalar`, `avx2`, `neon`)
+//! produces **bit-identical** `PearsonSums` state — not merely close
+//! correlations — for every input class the attack can feed it. The
+//! suite drives the public `push_column`/`push_column_reusing` API with
+//! the kernel pinned to `scalar` and then to `auto`, and compares the
+//! raw accumulator components with `f64::to_bits`.
+//!
+//! On a host without AVX2/NEON, `auto` resolves to the scalar tile and
+//! every assertion degenerates to scalar-vs-scalar: the suite still
+//! passes (and still guards the fold/tail plumbing around the kernel).
+//! CI runs it under both `FALCON_DEMA_SIMD=off` and `auto` regardless.
+
+use falcon_dema::cpa::simd::{self, Kernel, KernelChoice};
+use falcon_dema::cpa::{pearson, pearson_with_moments, PearsonSums, SampleMoments, SampleSums};
+use std::sync::Mutex;
+
+/// Kernel selection is process-global; tests that override it must not
+/// interleave.
+static KERNEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A hypothesis value in the attack's typical Hamming-weight range.
+    fn hyp(&mut self) -> f64 {
+        (self.next() % 105) as f64
+    }
+
+    /// A plausible near-zero-mean sample.
+    fn sample(&mut self) -> f32 {
+        (self.next() % 2048) as f32 / 64.0 - 16.0
+    }
+}
+
+fn random_columns(len: usize, seed: u64) -> (Vec<f64>, Vec<f32>) {
+    let mut rng = Rng::new(seed);
+    let h = (0..len).map(|_| rng.hyp()).collect();
+    let t = (0..len).map(|_| rng.sample()).collect();
+    (h, t)
+}
+
+/// Sums fed through `push_column` under the given kernel policy.
+fn sums_under(choice: KernelChoice, h: &[f64], t: &[f32]) -> [u64; 6] {
+    simd::set_kernel(Some(choice));
+    let mut s = PearsonSums::default();
+    s.push_column(h, t);
+    let out = s.components().map(f64::to_bits);
+    simd::set_kernel(None);
+    out
+}
+
+/// Asserts scalar and auto kernels agree bitwise on one column pair,
+/// through both the plain and the sample-reusing entry points.
+fn assert_bit_identical(h: &[f64], t: &[f32], what: &str) {
+    let scalar = sums_under(KernelChoice::Scalar, h, t);
+    let auto = sums_under(KernelChoice::Auto, h, t);
+    assert_eq!(scalar, auto, "push_column sums diverge: {what}");
+
+    // The reusing path must agree with the plain path under every
+    // kernel (SampleSums itself is kernel-independent by construction).
+    for choice in [KernelChoice::Scalar, KernelChoice::Auto] {
+        simd::set_kernel(Some(choice));
+        let reuse = SampleSums::new(t);
+        let mut s = PearsonSums::default();
+        s.push_column_reusing(h, t, &reuse);
+        let got = s.components().map(f64::to_bits);
+        simd::set_kernel(None);
+        assert_eq!(scalar, got, "push_column_reusing sums diverge ({choice:?}): {what}");
+    }
+
+    // And the derived statistics follow the sums.
+    simd::set_kernel(Some(KernelChoice::Scalar));
+    let mut a = PearsonSums::default();
+    a.push_column(h, t);
+    simd::set_kernel(Some(KernelChoice::Auto));
+    let mut b = PearsonSums::default();
+    b.push_column(h, t);
+    simd::set_kernel(None);
+    assert_eq!(a.corr().to_bits(), b.corr().to_bits(), "corr diverges: {what}");
+    assert_eq!(
+        a.hyp_variance().to_bits(),
+        b.hyp_variance().to_bits(),
+        "hyp_variance diverges: {what}"
+    );
+}
+
+#[test]
+fn lane_remainders_zero_through_seven() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Column lengths covering every remainder mod TILE_LANES twice,
+    // plus degenerate lengths shorter than one tile.
+    for len in [0usize, 1, 2, 3, 4, 5, 6, 7, 96, 97, 98, 99, 100, 101, 102, 103, 1000, 4099] {
+        let (h, t) = random_columns(len, 0xD1F7 ^ (len as u64) << 8);
+        assert_bit_identical(&h, &t, &format!("random columns, len={len}"));
+    }
+}
+
+#[test]
+fn pathological_sample_values() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // NaN, infinities, signed zeros, subnormals and f32 saturation must
+    // propagate identically through every kernel (IEEE semantics of
+    // mul/add/convert are exact and kernel-independent; the suite pins
+    // that no kernel "cleans up" or flushes anything).
+    let specials: [f32; 12] = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,        // smallest normal
+        f32::MIN_POSITIVE / 2.0,  // subnormal
+        -f32::MIN_POSITIVE / 4.0, // negative subnormal
+        f32::MAX,                 // saturated capture
+        f32::MIN,
+        1.0e-45, // smallest positive subnormal
+        3.4e38,
+    ];
+    for (i, &special) in specials.iter().enumerate() {
+        for len in [5usize, 64, 131] {
+            let (h, mut t) = random_columns(len, 0xBAD0 + i as u64);
+            // Scatter the special value into several lanes and the tail.
+            let mut rng = Rng::new(0xCAFE + i as u64);
+            for _ in 0..=len / 7 {
+                let at = (rng.next() as usize) % len;
+                t[at] = special;
+            }
+            assert_bit_identical(&h, &t, &format!("special {special:?} len={len}"));
+        }
+    }
+}
+
+#[test]
+fn constant_columns_zero_variance() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    for len in [1usize, 4, 7, 64, 129] {
+        // Constant hypothesis side (the unfalsifiable all-zero-window
+        // candidate), constant sample side, and both.
+        let (h, t) = random_columns(len, 0xC0457 + len as u64);
+        let hc = vec![3.0f64; len];
+        let tc = vec![-1.5f32; len];
+        assert_bit_identical(&hc, &t, &format!("constant hyps len={len}"));
+        assert_bit_identical(&h, &tc, &format!("constant samples len={len}"));
+        assert_bit_identical(&hc, &tc, &format!("both constant len={len}"));
+
+        // Zero variance must also yield corr() == 0 exactly, not NaN.
+        simd::set_kernel(Some(KernelChoice::Auto));
+        let mut s = PearsonSums::default();
+        s.push_column(&hc, &t);
+        assert_eq!(s.corr(), 0.0, "constant hypothesis must give zero correlation");
+        simd::set_kernel(None);
+    }
+}
+
+#[test]
+fn multi_column_accumulation_is_bit_identical() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The attack folds several columns of different lengths into one
+    // accumulator; the kernel boundary (lane fold + tail) re-runs per
+    // column, so cross-column state must carry identically.
+    let cols: Vec<(Vec<f64>, Vec<f32>)> =
+        [33usize, 4, 7, 256, 1].iter().map(|&n| random_columns(n, 0x5E0 + n as u64)).collect();
+    let run = |choice: KernelChoice| {
+        simd::set_kernel(Some(choice));
+        let mut s = PearsonSums::default();
+        for (h, t) in &cols {
+            s.push_column(h, t);
+        }
+        let out = s.components().map(f64::to_bits);
+        simd::set_kernel(None);
+        out
+    };
+    assert_eq!(run(KernelChoice::Scalar), run(KernelChoice::Auto));
+}
+
+#[test]
+fn pearson_with_moments_is_kernel_independent() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The two-pass estimator never touches the tile kernels, but CI
+    // sweeps this suite under FALCON_DEMA_SIMD=off|auto — pin that the
+    // moments-reusing path stays bit-identical to the direct one in
+    // both worlds.
+    let (h, t) = random_columns(501, 0x7007);
+    let m = SampleMoments::new(&t);
+    assert_eq!(pearson(&h, &t).to_bits(), pearson_with_moments(&h, &t, &m).to_bits());
+}
+
+#[test]
+fn active_kernel_reports_detection() {
+    let _g = KERNEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    simd::set_kernel(Some(KernelChoice::Off));
+    assert_eq!(simd::active_kernel(), Kernel::Scalar);
+    simd::set_kernel(Some(KernelChoice::Auto));
+    let auto = simd::active_kernel();
+    simd::set_kernel(None);
+    if simd::simd_available() {
+        assert_ne!(auto, Kernel::Scalar, "SIMD host must auto-select a vector kernel");
+    } else {
+        assert_eq!(auto, Kernel::Scalar, "non-SIMD host must fall back to the scalar tile");
+    }
+}

@@ -21,10 +21,15 @@
 //!   see into the callee.
 //!
 //! A fifth rule, **unsafe-code**, applies everywhere (regions or not):
-//! the workspace is `#![forbid(unsafe_code)]` and the lint backstops
+//! the workspace is `#![deny(unsafe_code)]` and the lint backstops
 //! that for code the compiler has not seen yet (fixtures, cfg'd-out
-//! blocks). **annotation** reports malformed or unbalanced directives
-//! so a typo cannot silently disable checking.
+//! blocks). The one carve-out is the explicit-SIMD kernel modules in
+//! [`crate::rules::UNSAFE_ALLOWED_MODULES`]: there the rule defers to
+//! the stricter **unsafe-audit** pass, which additionally demands a
+//! `// SAFETY:` justification on every block — a blanket `unsafe-code`
+//! finding in those files would only drown the audit's real signal.
+//! **annotation** reports malformed or unbalanced directives so a typo
+//! cannot silently disable checking.
 //!
 //! `// ct: allow(reason)` suppresses the rule checks for one line —
 //! the line it trails, or the next code-bearing line when it stands
@@ -32,7 +37,7 @@
 //! `debug_assert!` family macro are skipped entirely: they are compiled
 //! out of release signing builds.
 
-use crate::rules::CallAllowlist;
+use crate::rules::{CallAllowlist, UNSAFE_ALLOWED_MODULES};
 use crate::scan::{idents, stitch, Directive, Tok};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -198,6 +203,10 @@ pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome 
     // current set of secret identifiers.
     let mut taint: Option<BTreeSet<String>> = None;
     let mut pending_allow = false;
+    // In the allowlisted SIMD modules the blanket unsafe-code rule
+    // stands down: the unsafe-audit pass owns those files and holds
+    // every block to the stricter `// SAFETY:` standard instead.
+    let unsafe_deferred = UNSAFE_ALLOWED_MODULES.iter().any(|m| file.starts_with(m));
 
     for stmt in stitch(src) {
         let code_blank = stmt.code.trim().is_empty();
@@ -244,14 +253,14 @@ pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome 
         }
 
         let toks = idents(&stmt.code);
-        if toks.iter().any(|t| t.text == "unsafe") && !allowed {
+        if toks.iter().any(|t| t.text == "unsafe") && !allowed && !unsafe_deferred {
             push(
                 &mut out,
                 file,
                 stmt.line,
                 &stmt.raw,
                 Rule::UnsafeCode,
-                "unsafe code (workspace is forbid(unsafe_code))".into(),
+                "unsafe code (workspace is deny(unsafe_code))".into(),
             );
         }
 

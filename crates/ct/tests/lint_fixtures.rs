@@ -88,6 +88,18 @@ fn unsafe_flagged_everywhere() {
 }
 
 #[test]
+fn unsafe_code_defers_to_audit_in_allowed_modules() {
+    // Inside an allowlisted SIMD module the blanket unsafe-code rule
+    // stands down — the unsafe-audit pass owns the file and demands a
+    // `// SAFETY:` comment per block, which this bare fixture lacks.
+    let src = "fn f() { let p = unsafe { *ptr }; }\n";
+    let out = lint_source("crates/core/src/cpa/simd.rs", src, &CallAllowlist::workspace_default());
+    assert!(out.violations.is_empty(), "{:#?}", out.violations);
+    let audit = falcon_ct::audit::audit_source("crates/core/src/cpa/simd.rs", src);
+    assert!(audit.iter().any(|v| v.rule == Rule::UnsafeAudit), "{audit:?}");
+}
+
+#[test]
 fn taint_propagates_through_bindings() {
     // y inherits x's taint through the let, so the branch on y fires.
     let src = "// ct: secret(x)\nlet y = x + 1;\nif y > 0 { }\n// ct: end\n";

@@ -11,10 +11,20 @@
 //! asserting identical recovered keys, identical checkpoint bytes, and
 //! thread-count-independent pipeline counters.
 //!
+//! The sweep is a **kernel × threads matrix**: every thread count is
+//! also run with the Pearson tile kernel pinned to the scalar reference
+//! (`FALCON_DEMA_SIMD=off` equivalent) and with runtime detection
+//! enabled (`auto` — AVX2/NEON where the host has them). The SIMD
+//! kernels are bit-identical to the scalar tile by construction (see
+//! `cpa::simd`), so the kernel axis, like the thread axis, must not
+//! move a single output bit anywhere in campaign → key → forgery →
+//! checkpoint.
+//!
 //! Kept as a single `#[test]` in its own integration binary: the obs
 //! metrics registry is process-global, and concurrent tests in the same
 //! binary would interleave their counter deltas.
 
+use falcon_down::dema::cpa::simd::{self, KernelChoice};
 use falcon_down::dema::obs;
 use falcon_down::dema::recover::key_from_fft_bits;
 use falcon_down::dema::{exec, Campaign, CampaignConfig};
@@ -90,33 +100,46 @@ fn campaign_is_bit_identical_across_thread_counts() {
     impl Drop for ClearOverride {
         fn drop(&mut self) {
             exec::set_threads(0);
+            simd::set_kernel(None);
         }
     }
     let _clear = ClearOverride;
 
-    // Baseline at the ambient thread configuration (honours
-    // FALCON_DEMA_THREADS — CI runs this leg with 1 vs default).
+    // Baseline at the ambient thread and kernel configuration (honours
+    // FALCON_DEMA_THREADS and FALCON_DEMA_SIMD — CI sweeps both).
     let baseline = run_campaign();
 
     let avail = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
-    for threads in [1usize, 2, avail] {
-        exec::set_threads(threads);
-        let run = run_campaign();
-        assert_eq!(
-            run.bits, baseline.bits,
-            "recovered key must be bit-identical at {threads} thread(s)"
-        );
+    let compare = |run: &RunOutcome, what: &str| {
+        assert_eq!(run.bits, baseline.bits, "recovered key must be bit-identical {what}");
         assert_eq!(
             run.checkpoint, baseline.checkpoint,
-            "checkpoint bytes must be identical at {threads} thread(s)"
+            "checkpoint bytes must be identical {what}"
         );
         for (name, (got, want)) in
             THREAD_INDEPENDENT_COUNTERS.iter().zip(run.counters.iter().zip(&baseline.counters))
         {
-            assert_eq!(
-                got, want,
-                "counter {name} must be thread-count-independent at {threads} thread(s)"
-            );
+            assert_eq!(got, want, "counter {name} must be configuration-independent {what}");
+        }
+    };
+
+    for threads in [1usize, 2, avail] {
+        exec::set_threads(threads);
+        let run = run_campaign();
+        compare(&run, &format!("at {threads} thread(s)"));
+    }
+
+    // Kernel × threads: the scalar reference and the auto-detected SIMD
+    // kernel at single- and max-threaded execution. On a host without
+    // AVX2/NEON both legs run the scalar tile — still a valid (if
+    // degenerate) instance of the contract, and CI additionally sweeps
+    // the env var so the off/auto split is always exercised somewhere.
+    for kernel in [KernelChoice::Off, KernelChoice::Auto] {
+        for threads in [1usize, avail] {
+            simd::set_kernel(Some(kernel));
+            exec::set_threads(threads);
+            let run = run_campaign();
+            compare(&run, &format!("with kernel {kernel:?} at {threads} thread(s)"));
         }
     }
 }
