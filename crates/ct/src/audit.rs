@@ -26,9 +26,17 @@
 //!   whose value depends on association order. The pinned fold kernels
 //!   in `dema::cpa`/`dema::exec` carry reviewed allows.
 //!
+//! **Atomics audit** (`atomics-order`): in the concurrency-bearing
+//! modules ([`ATOMICS_AUDITED_PATHS`]: the campaign orchestrator and
+//! the serving layer) every atomic access must use an ordering that
+//! establishes a happens-before edge — `Ordering::Relaxed` is flagged
+//! unless a `// ct: allow(reason)` marks it reviewed. Pinned now, at
+//! zero findings, so ROADMAP item 3's multi-host sharding lands
+//! against an existing contract.
+//!
 //! Test code (`tests/`, `benches/`, `examples/`, `#[cfg(test)]`
-//! modules) is exempt from the determinism lint — tests may time things
-//! — but **not** from the unsafe audit.
+//! modules) is exempt from the determinism and atomics lints — tests
+//! may time things — but **not** from the unsafe audit.
 
 use crate::lint::{collect_rs_files, Rule, Violation};
 use crate::rules::UNSAFE_ALLOWED_MODULES;
@@ -124,10 +132,11 @@ pub fn audit_source(rel: &str, src: &str) -> Vec<Violation> {
             }
         }
 
-        // ---- determinism lint ----------------------------------------
+        // ---- determinism + atomics lints -----------------------------
         if in_test || allowed || code.starts_with("use ") || code.starts_with("pub use ") {
             continue;
         }
+        check_atomics(rel, stmt, code, &mut out);
         check_determinism(rel, stmt, code, &toks, &unordered, &mut out);
     }
 
@@ -183,6 +192,35 @@ fn unordered_names(stmts: &[Stmt]) -> BTreeSet<String> {
         }
     }
     names
+}
+
+/// Paths whose atomics carry cross-thread/cross-process control flow:
+/// the campaign orchestrator's shutdown and progress flags and the
+/// serving layer's request counters. `Ordering::Relaxed` there gives
+/// no happens-before edge, which is exactly the bug class multi-host
+/// sharding would turn from latent into live.
+const ATOMICS_AUDITED_PATHS: &[&str] = &["crates/core/src/orch", "crates/serve"];
+
+/// The `atomics-order` check for one statement: `Ordering::Relaxed` in
+/// the audited concurrency modules must carry a reviewed
+/// `// ct: allow(reason)` (the caller has already applied allows and
+/// test exemptions). `core::cmp::Ordering` never matches — the pattern
+/// requires the literal `Relaxed` variant.
+fn check_atomics(rel: &str, stmt: &Stmt, code: &str, out: &mut Vec<Violation>) {
+    if !ATOMICS_AUDITED_PATHS.iter().any(|m| rel.starts_with(m)) {
+        return;
+    }
+    if code.contains("Ordering::Relaxed") {
+        push(
+            out,
+            rel,
+            stmt,
+            Rule::AtomicsOrder,
+            "`Ordering::Relaxed` on a cross-thread atomic (no happens-before edge); use \
+             Acquire/Release/SeqCst or allow with a review"
+                .to_string(),
+        );
+    }
 }
 
 /// Iteration-revealing suffixes for `det-map-iter`.
@@ -421,6 +459,32 @@ mod tests {
     #[test]
     fn use_statements_do_not_fire_wall_clock() {
         let v = audit_source("crates/x/src/u.rs", "use std::time::Instant;\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn relaxed_atomics_in_audited_modules_are_flagged() {
+        let src = "fn stop(&self) {\n    self.done.store(true, Ordering::Relaxed);\n}\n";
+        let v = audit_source("crates/core/src/orch/daemon.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::AtomicsOrder);
+        let v = audit_source("crates/serve/src/server.rs", src);
+        assert!(v.iter().any(|x| x.rule == Rule::AtomicsOrder), "{v:?}");
+    }
+
+    #[test]
+    fn atomics_rule_is_scoped_allowable_and_ignores_cmp_ordering() {
+        // Outside the audited modules: not flagged.
+        let src = "fn stop(&self) {\n    self.done.store(true, Ordering::Relaxed);\n}\n";
+        let v = audit_source("crates/obs/src/registry.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        // SeqCst and `core::cmp::Ordering` comparisons: not flagged.
+        let src = "fn f(&self) {\n    self.n.fetch_add(1, Ordering::SeqCst);\n    if ord == Ordering::Less {\n        g();\n    }\n}\n";
+        let v = audit_source("crates/serve/src/server.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        // A reviewed allow suppresses.
+        let src = "fn peek(&self) -> u64 {\n    // ct: allow(monotonic counter, no ordering contract)\n    self.n.load(Ordering::Relaxed)\n}\n";
+        let v = audit_source("crates/core/src/orch/daemon.rs", src);
         assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -85,6 +85,48 @@ impl Baseline {
         self.fps.contains(&v.fingerprint())
     }
 
+    /// Whether a raw fingerprint is grandfathered (the site baseline
+    /// compares [`crate::sites::LeakSite::fingerprint`] values).
+    pub fn contains_fp(&self, fp: &str) -> bool {
+        self.fps.contains(fp)
+    }
+
+    /// The loaded fingerprint set.
+    pub fn fingerprints(&self) -> &BTreeSet<String> {
+        &self.fps
+    }
+
+    /// Renders a leakage-site map as baseline JSONL (sorted by
+    /// fingerprint for a stable diff). Scores and ranks are *not*
+    /// baselined — re-ranking is expected as the model sharpens; only
+    /// the existence of a site at a (file, kind, fn, snippet) is.
+    pub fn render_sites(sites: &[crate::sites::LeakSite]) -> String {
+        let mut lines: Vec<String> = sites
+            .iter()
+            .map(|s| {
+                Event::new("ct-site-baseline")
+                    .with_str("file", s.file.clone())
+                    .with_u64("line", s.line as u64)
+                    .with_str("kind", s.kind.id())
+                    .with_str("fn", s.qual.clone())
+                    .with_str("fp", s.fingerprint())
+                    .to_json()
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Baseline fingerprints not present in `current` — stale entries.
+    pub fn stale_fps(&self, current: &BTreeSet<String>) -> Vec<String> {
+        self.fps.difference(current).cloned().collect()
+    }
+
     /// Number of baselined fingerprints.
     pub fn len(&self) -> usize {
         self.fps.len()

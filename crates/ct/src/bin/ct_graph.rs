@@ -109,6 +109,7 @@ fn main() -> ExitCode {
             s.cause,
         );
     }
+    let edges = graph.edge_stats();
     println!(
         "ct_graph: {} function(s), {} call site(s), {} round(s): {} tainted, {} outside annotated regions",
         graph.fns.len(),
@@ -116,6 +117,13 @@ fn main() -> ExitCode {
         map.rounds,
         map.summaries.iter().zip(&graph.fns).filter(|(s, f)| !f.is_test && s.is_tainted()).count(),
         outside.len(),
+    );
+    println!(
+        "ct_graph: {} edge(s) resolved, {} dropped ({} ambiguous homonym, {} unresolved)",
+        edges.resolved,
+        edges.dropped(),
+        edges.ambiguous,
+        edges.unresolved,
     );
 
     if let Some(json_path) = &args.json {

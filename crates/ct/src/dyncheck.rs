@@ -240,6 +240,28 @@ pub fn check_all(cfg: &DynConfig) -> Vec<Outcome> {
     ]
 }
 
+/// The dynamically checked primitives paired with the `falcon-fpr`
+/// functions that implement them — the bridge the site-map superset
+/// test walks (see [`crate::sites::covers_primitive`]) to assert the
+/// static leakage map subsumes everything this checker exercises.
+/// Must stay in sync with [`check_all`].
+pub const PRIMITIVE_FNS: [(&str, &[&str]); 14] = [
+    ("mul", &["mul", "mul_observed"]),
+    ("add", &["add"]),
+    ("sub", &["sub"]),
+    ("div (secret dividend)", &["div"]),
+    ("div (secret divisor)", &["div"]),
+    ("sqr", &["sqr"]),
+    ("inv", &["inv"]),
+    ("sqrt", &["sqrt"]),
+    ("scaled", &["scaled"]),
+    ("rint", &["rint"]),
+    ("floor", &["floor"]),
+    ("trunc", &["trunc"]),
+    ("expm_p63", &["expm_p63"]),
+    ("half/double", &["half", "double"]),
+];
+
 /// Site IDs for the leaky fixture (outside the real primitives' range).
 pub const LEAKY_SITE_ODD: u32 = 0x9001;
 

@@ -15,12 +15,20 @@
 //!   with `(`, resolved to workspace functions **by bare name** —
 //!   every same-named function is a candidate callee.
 //!
+//! It also extracts struct definitions (via [`crate::fields`]) so the
+//! taint pass can seed per-field for types that declare public fields,
+//! and it accounts for every call edge the conservative resolution
+//! policy *drops* — closure/`dyn`/std calls with no workspace candidate
+//! and ambiguous bare-name homonyms — in [`CallGraph::edge_stats`], so
+//! under-taint is visible instead of silent.
+//!
 //! The deliberate limits (documented in DESIGN.md): no trait-dispatch
 //! or path resolution (name collisions over-connect the graph, which
-//! over-taints — safe for this analysis), no macro expansion, and no
-//! field-sensitivity. The taint pass in [`crate::summary`] is built to
-//! be conservative under exactly these approximations.
+//! over-taints — safe for this analysis) and no macro expansion. The
+//! taint pass in [`crate::summary`] is built to be conservative under
+//! exactly these approximations.
 
+use crate::fields::FieldMap;
 use crate::scan::{idents, stitch, Directive, Stmt};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -103,6 +111,35 @@ pub struct CallGraph {
     /// fn index → indices into the owning file's statement list that
     /// fall inside the body span.
     pub body_stmts: Vec<(usize, Vec<usize>)>,
+    /// Struct definitions, for field-sensitive seeding.
+    pub structs: FieldMap,
+}
+
+/// Resolution accounting over every recorded call site: edges the
+/// conservative policy keeps versus edges it drops. Dropped edges are
+/// the under-taint surface — calls through closures, `dyn`/`impl
+/// Trait` objects and the standard library have no workspace candidate
+/// (`unresolved`), and bare-name homonyms with several candidates are
+/// dropped by the taint pass rather than guessed (`ambiguous`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeStats {
+    /// Call sites resolved to exactly one workspace function (or to an
+    /// exact `Type::name` qualifier match).
+    pub resolved: usize,
+    /// Call sites whose bare name matches several workspace functions
+    /// and carries no disambiguating qualifier: dropped by the taint
+    /// pass.
+    pub ambiguous: usize,
+    /// Call sites with no workspace candidate at all (std/closure/`dyn`
+    /// dispatch): invisible to interprocedural propagation.
+    pub unresolved: usize,
+}
+
+impl EdgeStats {
+    /// Total edges dropped at resolution (`ambiguous + unresolved`).
+    pub fn dropped(&self) -> usize {
+        self.ambiguous + self.unresolved
+    }
 }
 
 impl CallGraph {
@@ -134,6 +171,7 @@ impl CallGraph {
     /// Parses one file into functions, call sites and retained
     /// statements.
     fn add_file(&mut self, rel: &str, src: &str) {
+        self.structs.add_file(rel, src);
         let stmts = stitch(src);
         let module = module_path(rel);
         let path_is_test = path_is_test(rel);
@@ -353,6 +391,34 @@ impl CallGraph {
             }
         }
         self.resolve(&site.callee).collect()
+    }
+
+    /// Classifies every recorded call site under the taint-propagation
+    /// resolution policy (see [`crate::summary`]): kept when a written
+    /// `Type::name` qualifier matches exactly or the bare name is
+    /// unique among non-test workspace functions; dropped otherwise.
+    /// This makes the pass's under-taint surface countable — DESIGN §9
+    /// used to record these edges as vanishing silently.
+    pub fn edge_stats(&self) -> EdgeStats {
+        let mut stats = EdgeStats::default();
+        for site in &self.calls {
+            let bare = self.resolve(&site.callee).count();
+            let kept = match &site.recv {
+                Some(r) => {
+                    let qual = format!("{r}::{}", site.callee);
+                    self.resolve(&site.callee).any(|i| self.fns[i].qual == qual)
+                }
+                None => bare == 1,
+            };
+            if kept {
+                stats.resolved += 1;
+            } else if bare >= 2 {
+                stats.ambiguous += 1;
+            } else {
+                stats.unresolved += 1;
+            }
+        }
+        stats
     }
 }
 

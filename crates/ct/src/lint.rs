@@ -1,11 +1,18 @@
-//! The secret-taint lint: line-level taint tracking plus rule checks
-//! over `ct: secret` annotated regions.
+//! The secret-taint lint: flow-sensitive taint tracking plus rule
+//! checks over `ct: secret` annotated regions.
 //!
 //! A region opens with `// ct: secret(a, b)`, which seeds a taint set
 //! with the named identifiers, and closes with `// ct: end`. Within a
 //! region, taint propagates through `let` bindings and assignments
 //! (any binding whose right-hand side mentions a tainted identifier
-//! taints its left-hand side), and four rules apply:
+//! taints its left-hand side). Since v3 the state is **flow-sensitive**:
+//! rebinding a name to a public right-hand side *kills* its taint in
+//! straight-line code, while kills inside a conditional block are
+//! reverted at the closing brace (the branch may not execute, so the
+//! join is a union — see [`Taint`]). It is also **field-sensitive**:
+//! `// ct: public(sk.logn)` declares a projection public, so reads of
+//! `sk.logn` (field or accessor) do not count as tainted even though
+//! `sk` itself is secret. Four rules apply inside regions:
 //!
 //! * **secret-branch** — `if`/`while`/`match` conditions, range-based
 //!   `for` bounds, and short-circuit `&&`/`||` must not involve tainted
@@ -59,6 +66,10 @@ pub enum Rule {
     /// `unsafe` outside an allowlisted module or without a `// SAFETY:`
     /// justification (the audit gate for the SIMD kernel work).
     UnsafeAudit,
+    /// `Ordering::Relaxed` on a cross-thread atomic in the orchestrator
+    /// or server (the multi-host sharding work needs acquire/release
+    /// edges pinned before it starts).
+    AtomicsOrder,
     /// Iteration-order-dependent container in a result-affecting path.
     DetMapIter,
     /// Wall-clock reads (`Instant`/`SystemTime`) in library code.
@@ -84,6 +95,7 @@ impl Rule {
             Rule::SecretCall => "secret-call",
             Rule::UnsafeCode => "unsafe-code",
             Rule::UnsafeAudit => "unsafe-audit",
+            Rule::AtomicsOrder => "atomics-order",
             Rule::DetMapIter => "det-map-iter",
             Rule::DetWallClock => "det-wall-clock",
             Rule::DetEnvRead => "det-env-read",
@@ -102,6 +114,7 @@ impl Rule {
             "secret-call" => Some(Rule::SecretCall),
             "unsafe-code" => Some(Rule::UnsafeCode),
             "unsafe-audit" => Some(Rule::UnsafeAudit),
+            "atomics-order" => Some(Rule::AtomicsOrder),
             "det-map-iter" => Some(Rule::DetMapIter),
             "det-wall-clock" => Some(Rule::DetWallClock),
             "det-env-read" => Some(Rule::DetEnvRead),
@@ -158,7 +171,7 @@ impl fmt::Display for Violation {
 }
 
 /// 64-bit FNV-1a over UTF-8 bytes.
-fn fnv1a64(s: &str) -> u64 {
+pub(crate) fn fnv1a64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= b as u64;
@@ -200,8 +213,8 @@ pub struct TreeOutcome {
 pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome {
     let mut out = FileOutcome { lines: src.lines().count(), ..FileOutcome::default() };
     // `None` = outside any region; `Some(taint)` = inside, with the
-    // current set of secret identifiers.
-    let mut taint: Option<BTreeSet<String>> = None;
+    // current flow-sensitive taint state.
+    let mut taint: Option<Taint> = None;
     let mut pending_allow = false;
     // In the allowlisted SIMD modules the blanket unsafe-code rule
     // stands down: the unsafe-audit pass owns those files and holds
@@ -217,9 +230,19 @@ pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome 
                 Directive::Secret(vars) => {
                     if taint.is_none() {
                         out.regions += 1;
-                        taint = Some(BTreeSet::new());
+                        taint = Some(Taint::new());
                     }
-                    taint.as_mut().expect("just set").extend(vars.iter().cloned());
+                    let set = taint.as_mut().expect("just set");
+                    for v in vars {
+                        set.seed(v);
+                    }
+                }
+                Directive::Public(paths) => {
+                    if let Some(set) = taint.as_mut() {
+                        for p in paths.iter().filter(|p| p.contains('.')) {
+                            set.seed_public(p);
+                        }
+                    }
                 }
                 Directive::End if taint.is_none() => {
                     push(
@@ -271,7 +294,7 @@ pub fn lint_source(file: &str, src: &str, allow: &CallAllowlist) -> FileOutcome 
                     push(&mut out, file, stmt.line, &stmt.raw, rule, msg);
                 });
             }
-            propagate(&stmt.code, &toks, set);
+            set.observe(&stmt.code, &toks);
         }
     }
 
@@ -315,12 +338,15 @@ pub(crate) fn is_debug_assert(code: &str, toks: &[Tok]) -> bool {
 pub(crate) fn check_line(
     code: &str,
     toks: &[Tok],
-    taint: &BTreeSet<String>,
+    taint: &Taint,
     allow: &CallAllowlist,
     mut report: impl FnMut(Rule, String),
 ) {
     let chars: Vec<char> = code.chars().collect();
-    let tainted_here: Vec<&Tok> = toks.iter().filter(|t| taint.contains(&t.text)).collect();
+    let tainted_here: Vec<&Tok> = (0..toks.len())
+        .filter(|&i| taint.occurrence_tainted(&chars, toks, i))
+        .map(|i| &toks[i])
+        .collect();
     let line_tainted = !tainted_here.is_empty();
 
     // secret-branch: if/while/match conditions and range-based for.
@@ -339,7 +365,7 @@ pub(crate) fn check_line(
             _ => None,
         };
         if let Some((lo, hi)) = cond {
-            let names = tainted_in_span(toks, taint, lo, hi);
+            let names = tainted_in_span(&chars, toks, taint, lo, hi);
             if !names.is_empty() {
                 report(
                     Rule::SecretBranch,
@@ -372,7 +398,7 @@ pub(crate) fn check_line(
     while p < chars.len() {
         if chars[p] == '[' && is_index_bracket(&chars, p) {
             let close = matching_bracket(&chars, p);
-            let names = tainted_in_span(toks, taint, p + 1, close);
+            let names = tainted_in_span(&chars, toks, taint, p + 1, close);
             if !names.is_empty() {
                 report(
                     Rule::SecretIndex,
@@ -422,18 +448,19 @@ pub(crate) fn check_line(
     }
 }
 
-/// Tainted identifier names within a char span, deduplicated in order.
+/// Tainted occurrence names within a char span, deduplicated in order.
 fn tainted_in_span<'a>(
+    chars: &[char],
     toks: &'a [Tok],
-    taint: &BTreeSet<String>,
+    taint: &Taint,
     lo: usize,
     hi: usize,
 ) -> Vec<&'a str> {
     let mut names: Vec<&str> = Vec::new();
-    for t in toks {
+    for (i, t) in toks.iter().enumerate() {
         if t.start >= lo
             && t.end <= hi
-            && taint.contains(&t.text)
+            && taint.occurrence_tainted(chars, toks, i)
             && !names.contains(&t.text.as_str())
         {
             names.push(&t.text);
@@ -514,26 +541,168 @@ pub(crate) fn is_keyword(s: &str) -> bool {
     )
 }
 
-/// Taint propagation through one line: if the right-hand side of a
-/// binding (`let x = …`, `x = …`, `x += …`, destructuring `let (a, b)
-/// = …`) mentions a tainted identifier, the left-hand side identifiers
-/// become tainted. Taint is never removed (conservative).
-pub(crate) fn propagate(code: &str, toks: &[Tok], taint: &mut BTreeSet<String>) {
-    let chars: Vec<char> = code.chars().collect();
-    let Some(p) = binding_eq(&chars) else { return };
-    let rhs_tainted = toks.iter().any(|t| t.start > p && taint.contains(&t.text));
-    if !rhs_tainted {
-        return;
+/// Flow- and field-sensitive taint state for one linear replay.
+///
+/// The state is a set of secret binding roots plus a set of *public
+/// projections* (`"sk.logn"`), and a snapshot stack mirroring brace
+/// depth:
+///
+/// * **Gen** — a binding whose right-hand side mentions a tainted
+///   occurrence taints its left-hand side identifiers.
+/// * **Kill** — a plain rebinding (`let x = …` / `x = …`, not compound,
+///   no field/index target, no trailing block) whose right-hand side is
+///   entirely public removes the taint of its left-hand side names.
+/// * **Join** — `{` pushes a snapshot of the secret set; `}` pops it
+///   and unions it back in. Taint *added* inside a block survives the
+///   block (the block may execute), while taint *killed* inside a block
+///   is restored (the block may not execute) — the standard may-taint
+///   join, realised lexically.
+/// * **Field sensitivity** — an occurrence `root.field` where
+///   `root.field` is a declared public projection does not count as
+///   tainted, so `sk.logn()`-style accessors of public fields stop
+///   over-tainting everything downstream.
+#[derive(Debug, Clone, Default)]
+pub struct Taint {
+    secret: BTreeSet<String>,
+    public_paths: BTreeSet<String>,
+    stack: Vec<BTreeSet<String>>,
+}
+
+/// Brace-snapshot stack depth bound: beyond this the replay stops
+/// pushing (joins degrade to keep-everything, which is conservative).
+const MAX_SCOPE_DEPTH: usize = 64;
+
+impl Taint {
+    /// Empty state.
+    pub fn new() -> Taint {
+        Taint::default()
     }
-    for t in toks {
-        if t.start < p
-            && !is_keyword(&t.text)
-            && !t.text.starts_with(char::is_uppercase)
-            && t.text != "_"
-        {
-            taint.insert(t.text.clone());
+
+    /// Marks a binding root as secret.
+    pub fn seed(&mut self, name: &str) {
+        self.secret.insert(name.to_string());
+    }
+
+    /// Declares a dotted projection (`"sk.logn"`) public.
+    pub fn seed_public(&mut self, path: &str) {
+        self.public_paths.insert(path.to_string());
+    }
+
+    /// Whether `name` is currently a secret root.
+    pub fn contains(&self, name: &str) -> bool {
+        self.secret.contains(name)
+    }
+
+    /// Number of secret roots currently live.
+    pub fn len(&self) -> usize {
+        self.secret.len()
+    }
+
+    /// Whether no root is tainted.
+    pub fn is_empty(&self) -> bool {
+        self.secret.is_empty()
+    }
+
+    /// The secret roots, for summaries and messages.
+    pub fn roots(&self) -> impl Iterator<Item = &str> {
+        self.secret.iter().map(|s| s.as_str())
+    }
+
+    /// The projection `x.f` read at token `i`, if the token is
+    /// immediately followed by a single `.` and an identifier (`..`
+    /// ranges and tuple indices return `None`).
+    fn projection<'a>(&self, chars: &[char], toks: &'a [Tok], i: usize) -> Option<&'a str> {
+        let t = &toks[i];
+        let mut j = t.end;
+        while chars.get(j) == Some(&' ') {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'.') || chars.get(j + 1) == Some(&'.') {
+            return None;
+        }
+        j += 1;
+        while chars.get(j) == Some(&' ') {
+            j += 1;
+        }
+        let nt = toks.get(i + 1)?;
+        (nt.start == j).then_some(nt.text.as_str())
+    }
+
+    /// Whether the identifier occurrence at `toks[i]` reads secret data:
+    /// its root must be tainted and its immediate projection (if any)
+    /// must not be a declared public path.
+    pub fn occurrence_tainted(&self, chars: &[char], toks: &[Tok], i: usize) -> bool {
+        let t = &toks[i];
+        if !self.secret.contains(&t.text) {
+            return false;
+        }
+        if let Some(proj) = self.projection(chars, toks, i) {
+            let path = format!("{}.{proj}", t.text);
+            if self.public_paths.contains(&path) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Taint propagation plus scope maintenance for one statement: gen
+    /// and kill on bindings, then snapshot push/pop for each brace.
+    pub fn observe(&mut self, code: &str, toks: &[Tok]) {
+        let chars: Vec<char> = code.chars().collect();
+        if let Some(p) = binding_eq(&chars) {
+            let rhs_tainted = (0..toks.len())
+                .any(|i| toks[i].start > p && self.occurrence_tainted(&chars, toks, i));
+            let lhs_idents = || {
+                toks.iter().filter(|t| {
+                    t.start < p
+                        && !is_keyword(&t.text)
+                        && !t.text.starts_with(char::is_uppercase)
+                        && t.text != "_"
+                })
+            };
+            if rhs_tainted {
+                for t in lhs_idents() {
+                    self.secret.insert(t.text.clone());
+                }
+            } else if kill_allowed(&chars, p) {
+                for t in lhs_idents() {
+                    self.secret.remove(&t.text);
+                }
+            }
+        }
+        for &c in &chars {
+            match c {
+                '{' if self.stack.len() < MAX_SCOPE_DEPTH => {
+                    self.stack.push(self.secret.clone());
+                }
+                '}' => {
+                    if let Some(saved) = self.stack.pop() {
+                        self.secret.extend(saved);
+                    }
+                }
+                _ => {}
+            }
         }
     }
+}
+
+/// Whether a public rebinding at `=` position `p` may kill taint. The
+/// kill must be provably unconditional and total over its targets:
+///
+/// * no `{` in the statement (a trailing block means the right-hand
+///   side continues on later statements, e.g. `let x = match y {`);
+/// * no `[` or `.` left of the `=` (an element or field store leaves
+///   the rest of the binding secret);
+/// * not a compound assignment (`+=` etc. reads the old value).
+fn kill_allowed(chars: &[char], p: usize) -> bool {
+    if chars.contains(&'{') {
+        return false;
+    }
+    if chars[..p].iter().any(|&c| c == '[' || c == '.') {
+        return false;
+    }
+    let prev = chars[..p].iter().rev().find(|c| **c != ' ');
+    !matches!(prev, Some('+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>'))
 }
 
 /// Position of the binding `=` (plain or compound), if any: skips

@@ -8,9 +8,10 @@
 //! documents (asserted by the crate's tests and diffable in CI).
 
 use crate::baseline::Baseline;
-use crate::dyncheck::{DynConfig, Outcome};
+use crate::dyncheck::{DynConfig, Outcome, PRIMITIVE_FNS};
 use crate::graph::CallGraph;
 use crate::lint::{TreeOutcome, Violation};
+use crate::sites::{covers_primitive, LeakSite, SiteMap};
 use crate::summary::TaintMap;
 use falcon_bench::json::Json;
 use std::collections::BTreeMap;
@@ -92,10 +93,20 @@ pub fn graph_report(g: &CallGraph, map: &TaintMap) -> Json {
                 .field("cause", s.cause.as_str())
         })
         .collect();
+    let edges = g.edge_stats();
     Json::obj()
         .field("tool", "ct_graph")
         .field("functions", g.fns.len())
         .field("call_sites", g.calls.len())
+        .field("resolved_edges", edges.resolved)
+        .field("dropped_edges", edges.dropped())
+        .field(
+            "dropped_edge_breakdown",
+            Json::obj()
+                .field("ambiguous_homonym", edges.ambiguous)
+                .field("unresolved", edges.unresolved),
+        )
+        .field("structs", g.structs.len())
         .field("fixpoint_rounds", map.rounds)
         .field("tainted_functions", tainted.len())
         .field("tainted_outside_regions", outside.len())
@@ -104,6 +115,73 @@ pub fn graph_report(g: &CallGraph, map: &TaintMap) -> Json {
             Json::Arr(outside.iter().map(|s| Json::Str(s.to_string())).collect()),
         )
         .field("summaries", Json::Arr(summaries))
+}
+
+/// Builds the `ct_sites` report document: the ranked leakage-site map
+/// plus the dynamic-checker coverage cross-check. `baseline` marks
+/// which sites are already reviewed (the `new_sites` count is the
+/// CI-failing number).
+pub fn sites_report(
+    g: &CallGraph,
+    map: &TaintMap,
+    sites: &SiteMap,
+    known: &std::collections::BTreeSet<String>,
+) -> Json {
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for s in &sites.sites {
+        *by_kind.entry(s.kind.id()).or_default() += 1;
+    }
+    let mut kind_obj = Json::obj();
+    for (id, n) in by_kind {
+        kind_obj = kind_obj.field(id, n);
+    }
+    let new_sites = sites.sites.iter().filter(|s| !known.contains(&s.fingerprint())).count();
+    let coverage: Vec<Json> = PRIMITIVE_FNS
+        .iter()
+        .map(|(name, fns)| {
+            Json::obj().field("primitive", *name).field("covered", covers_primitive(g, map, fns))
+        })
+        .collect();
+    let covered = PRIMITIVE_FNS.iter().filter(|(_, fns)| covers_primitive(g, map, fns)).count();
+    Json::obj()
+        .field("tool", "ct_sites")
+        .field("functions_scanned", sites.scanned.len())
+        .field("total_sites", sites.sites.len())
+        .field("new_sites", new_sites)
+        .field("by_kind", kind_obj)
+        .field("dyn_primitives", PRIMITIVE_FNS.len())
+        .field("dyn_primitives_covered", covered)
+        .field("dyn_coverage", Json::Arr(coverage))
+        .field(
+            "sites",
+            Json::Arr(
+                sites
+                    .sites
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, s)| site_json(rank + 1, s, known))
+                    .collect(),
+            ),
+        )
+}
+
+fn site_json(rank: usize, s: &LeakSite, known: &std::collections::BTreeSet<String>) -> Json {
+    Json::obj()
+        .field("rank", rank)
+        .field("file", s.file.as_str())
+        .field("line", s.line)
+        .field("fn", s.qual.as_str())
+        .field("kind", s.kind.id())
+        .field("class", s.class.id())
+        .field("width_bits", s.width)
+        .field("step", s.step.map(|st| format!("{st:?}")).unwrap_or_default())
+        .field("reach", s.reach)
+        .field("score", s.score)
+        .field("annotated", s.annotated)
+        .field("message", s.message.as_str())
+        .field("snippet", s.snippet.as_str())
+        .field("fp", s.fingerprint())
+        .field("baselined", known.contains(&s.fingerprint()))
 }
 
 fn violation_json(v: &Violation, baseline: &Baseline) -> Json {

@@ -259,6 +259,11 @@ pub enum Directive {
     /// `ct: allow(reason)` — suppress rule checks on this line (when
     /// trailing code) or the next code-bearing line (when standalone).
     Allow(String),
+    /// `ct: public(a, b)` — declare projections public. On a struct
+    /// definition the names are field names exempt from seed taint
+    /// (field-sensitive seeding); inside a secret region they are
+    /// dotted paths (`sk.logn`) whose reads do not count as tainted.
+    Public(Vec<String>),
     /// A `ct:` comment that parses as none of the above; reported as an
     /// `annotation` violation so typos cannot silently disable checks.
     Bad(String),
@@ -285,6 +290,15 @@ pub fn directive(comment: &str) -> Option<Directive> {
             return Some(Directive::Bad("allow(...) requires a reason".to_string()));
         }
         return Some(Directive::Allow(reason.to_string()));
+    }
+    if let Some(inner) = parenthesised(rest, "public") {
+        let names: Vec<String> =
+            inner.split(',').map(|v| v.trim().to_string()).filter(|v| !v.is_empty()).collect();
+        let is_path = |p: &str| !p.is_empty() && p.split('.').all(is_ident);
+        if names.is_empty() || names.iter().any(|v| !is_path(v)) {
+            return Some(Directive::Bad(format!("malformed public(...) name list: `{rest}`")));
+        }
+        return Some(Directive::Public(names));
     }
     Some(Directive::Bad(format!("unrecognised ct directive: `{rest}`")))
 }

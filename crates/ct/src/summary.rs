@@ -5,7 +5,14 @@
 //! * **Type seeds** — a parameter or return type mentioning one of
 //!   [`crate::rules::SECRET_SEED_TYPES`] (`Secret<T>`, the private-key
 //!   types, the LDL tree the sampler walks) marks that parameter or the
-//!   return value secret, no annotation needed.
+//!   return value secret, no annotation needed. Seeding is
+//!   **field-sensitive** for structs that opt in with a
+//!   `// ct: public(field, …)` annotation on their definition (see
+//!   [`crate::fields`]): the parameter root still taints, but the
+//!   declared public projections (`sk.logn`, and the same-named
+//!   accessors) are recorded as exclusions, so reading a public field
+//!   of a secret struct no longer drags whole call chains into the
+//!   taint set. Unannotated structs keep whole-value seeding.
 //! * **Region annotations** — inside a `// ct: secret(a, b)` region the
 //!   named identifiers are secret; when they coincide with parameter
 //!   names the parameter is marked in the summary, so *callers* of an
@@ -37,6 +44,9 @@ use std::collections::BTreeSet;
 pub struct TaintSummary {
     /// Names of parameters considered secret-bearing.
     pub tainted_params: BTreeSet<String>,
+    /// Dotted projections of tainted parameters that are declared
+    /// public (`"sk.logn"`) — excluded when replaying the body.
+    pub public_paths: BTreeSet<String>,
     /// Whether the return value carries secrets.
     pub returns_secret: bool,
     /// Why the function first became tainted (seed type, region, or the
@@ -83,6 +93,14 @@ impl TaintMap {
                     sums[i].tainted_params.insert(p.name.clone());
                     if sums[i].cause.is_empty() {
                         sums[i].cause = format!("param `{}: {}` is a seed type", p.name, p.ty);
+                    }
+                }
+                // Field-sensitive exclusions: a struct with a
+                // `ct: public(...)` annotation donates its public
+                // projections for every parameter of that type.
+                if let Some(info) = g.structs.sensitive_in_type(&p.ty) {
+                    for field in &info.public_fields {
+                        sums[i].public_paths.insert(format!("{}.{field}", p.name));
                     }
                 }
             }
@@ -158,7 +176,13 @@ fn propagate_one(g: &CallGraph, i: usize, sums: &mut [TaintSummary]) -> bool {
         return false;
     }
     let mut changed = false;
-    let mut local: BTreeSet<String> = sums[i].tainted_params.iter().cloned().collect();
+    let mut local = lint::Taint::new();
+    for p in &sums[i].tainted_params {
+        local.seed(p);
+    }
+    for p in &sums[i].public_paths {
+        local.seed_public(p);
+    }
     let (file_idx, stmt_idxs) = (g.body_stmts[i].0, g.body_stmts[i].1.clone());
     // The function's trailing expression is the last statement that is
     // not a bare closing brace (the `}` that ends the body is itself a
@@ -169,19 +193,23 @@ fn propagate_one(g: &CallGraph, i: usize, sums: &mut [TaintSummary]) -> bool {
     for (k, si) in stmt_idxs.iter().enumerate() {
         let stmt = &g.files[file_idx].stmts[*si];
         let code = stmt.code.trim();
-        if code.is_empty() || lint::is_attribute(code) {
-            // Region directives still extend the local taint set.
-            for (_, d) in &stmt.directives {
-                if let Directive::Secret(vars) = d {
-                    local.extend(vars.iter().cloned());
-                }
-            }
-            continue;
-        }
         for (_, d) in &stmt.directives {
-            if let Directive::Secret(vars) = d {
-                local.extend(vars.iter().cloned());
+            match d {
+                Directive::Secret(vars) => {
+                    for v in vars {
+                        local.seed(v);
+                    }
+                }
+                Directive::Public(paths) => {
+                    for p in paths.iter().filter(|p| p.contains('.')) {
+                        local.seed_public(p);
+                    }
+                }
+                _ => {}
             }
+        }
+        if code.is_empty() || lint::is_attribute(code) {
+            continue;
         }
         let toks = idents(code);
         let chars: Vec<char> = code.chars().collect();
@@ -206,14 +234,14 @@ fn propagate_one(g: &CallGraph, i: usize, sums: &mut [TaintSummary]) -> bool {
                         && !t.text.starts_with(char::is_uppercase)
                         && t.text != "_"
                     {
-                        local.insert(t.text.clone());
+                        local.seed(&t.text);
                     }
                 }
             }
         }
 
-        // Intra-statement binding propagation.
-        lint::propagate(code, &toks, &mut local);
+        // Intra-statement flow-sensitive propagation (gen/kill/join).
+        local.observe(code, &toks);
 
         // Call-argument taint: a tainted identifier inside a call's
         // argument list (matched to the callee parameter by position
@@ -243,7 +271,7 @@ fn propagate_one(g: &CallGraph, i: usize, sums: &mut [TaintSummary]) -> bool {
         if returnish
             && !sums[i].returns_secret
             && !g.fns[i].ret.is_empty()
-            && toks.iter().any(|t| local.contains(&t.text))
+            && (0..toks.len()).any(|ti| local.occurrence_tainted(&chars, &toks, ti))
         {
             sums[i].returns_secret = true;
             changed = true;
@@ -356,7 +384,7 @@ fn tainted_callee_params(
     chars: &[char],
     toks: &[Tok],
     tok_start: usize,
-    local: &BTreeSet<String>,
+    local: &lint::Taint,
     callee: &crate::graph::FnInfo,
 ) -> Vec<String> {
     // Locate the opening paren after the name token.
@@ -404,12 +432,19 @@ fn tainted_callee_params(
     }
     let arg_tainted: Vec<bool> = arg_spans
         .iter()
-        .map(|&(a, b)| toks.iter().any(|t| t.start >= a && t.end <= b && local.contains(&t.text)))
+        .map(|&(a, b)| {
+            (0..toks.len()).any(|ti| {
+                toks[ti].start >= a
+                    && toks[ti].end <= b
+                    && local.occurrence_tainted(chars, toks, ti)
+            })
+        })
         .collect();
 
     let method_syntax = tok_start > 0 && chars.get(tok_start - 1) == Some(&'.');
-    let recv_tainted =
-        method_syntax && toks.iter().any(|t| t.end < tok_start && local.contains(&t.text));
+    let recv_tainted = method_syntax
+        && (0..toks.len())
+            .any(|ti| toks[ti].end < tok_start && local.occurrence_tainted(chars, toks, ti));
 
     let mut out = Vec::new();
     let params = &callee.params;
@@ -447,10 +482,16 @@ pub fn taint_violations(g: &CallGraph, map: &TaintMap, allow: &CallAllowlist) ->
         if f.is_test || !map.summaries[i].is_tainted() {
             continue;
         }
-        let mut local: BTreeSet<String> = map.summaries[i].tainted_params.iter().cloned().collect();
-        if local.is_empty() {
+        if map.summaries[i].tainted_params.is_empty() {
             // Only the return is secret: nothing to track in the body.
             continue;
+        }
+        let mut local = lint::Taint::new();
+        for p in &map.summaries[i].tainted_params {
+            local.seed(p);
+        }
+        for p in &map.summaries[i].public_paths {
+            local.seed_public(p);
         }
         let (file_idx, stmt_idxs) = (g.body_stmts[i].0, &g.body_stmts[i].1);
         let mut in_region = false;
@@ -463,7 +504,14 @@ pub fn taint_violations(g: &CallGraph, map: &TaintMap, allow: &CallAllowlist) ->
                 match d {
                     Directive::Secret(vars) => {
                         in_region = true;
-                        local.extend(vars.iter().cloned());
+                        for v in vars {
+                            local.seed(v);
+                        }
+                    }
+                    Directive::Public(paths) => {
+                        for p in paths.iter().filter(|p| p.contains('.')) {
+                            local.seed_public(p);
+                        }
                     }
                     Directive::End => in_region = false,
                     Directive::Allow(_) => {
@@ -499,7 +547,7 @@ pub fn taint_violations(g: &CallGraph, map: &TaintMap, allow: &CallAllowlist) ->
                     });
                 });
             }
-            lint::propagate(code, &toks, &mut local);
+            local.observe(code, &toks);
         }
     }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));

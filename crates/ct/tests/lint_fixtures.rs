@@ -194,6 +194,97 @@ fn load(p: *const f64) -> f64 {
 }
 
 #[test]
+fn public_field_paths_are_exempt_from_taint() {
+    // `sk` is secret, but `sk.logn` is declared public: branching on the
+    // public projection is fine while the secret fields still fire.
+    let src = "\
+// ct: secret(sk)
+// ct: public(sk.logn)
+if sk.logn() > 9 { }
+// ct: end
+";
+    assert_clean(src);
+    // The other fields of the same value stay tainted.
+    let mixed = "\
+// ct: secret(sk)
+// ct: public(sk.logn)
+if sk.logn() > 9 { }
+if sk.f > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(mixed), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn public_paths_do_not_sanitize_derived_bindings() {
+    // Copying a *secret* projection into a local keeps the taint; only
+    // the declared public path itself is exempt.
+    let src = "\
+// ct: secret(sk)
+// ct: public(sk.logn)
+let c = sk.f;
+if c > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn reassignment_kills_taint() {
+    // Flow sensitivity: rebinding a tainted local to a public value
+    // clears it, so the later branch is clean…
+    let killed = "\
+// ct: secret(k)
+let mut x = k;
+x = 0;
+if x > 0 { }
+// ct: end
+";
+    assert_clean(killed);
+    // …but a *use* before the kill still fires, and a compound
+    // assignment (`+=`) is a gen, not a kill.
+    let compound = "\
+// ct: secret(k)
+let mut x = 0;
+x += k;
+x = x + 1;
+if x > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(compound), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn conditional_kill_does_not_sanitize() {
+    // A kill inside a braced arm merges with the fall-through state at
+    // the closing brace (union-join): `x` may still be secret after the
+    // `if`, so the branch fires.
+    let src = "\
+// ct: secret(k)
+let mut x = k;
+if flag {
+    x = 0;
+}
+if x > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+}
+
+#[test]
+fn field_and_index_stores_are_not_kills() {
+    // `buf[i] = 0` and `s.a = 0` overwrite one lane, not the binding —
+    // the whole value stays tainted.
+    let src = "\
+// ct: secret(buf)
+buf[0] = 0;
+if buf[1] > 0 { }
+// ct: end
+";
+    assert_eq!(rules_of(src), vec![Rule::SecretBranch]);
+}
+
+#[test]
 fn annotation_errors() {
     // Empty allow reason.
     assert_eq!(rules_of("// ct: allow()\n"), vec![Rule::Annotation]);

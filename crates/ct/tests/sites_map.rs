@@ -1,0 +1,128 @@
+//! The ranked leakage-site map over the *actual* workspace tree: the
+//! static analysis must point at the paper's attack surface, not just
+//! at fixtures.
+//!
+//! Two properties are load-bearing. First, the #1-ranked site must be
+//! the secret-mantissa partial-product multiply inside
+//! `Fpr::mul_observed` — that is the exact operation the DAC'21 CPA
+//! keys on, so a map that ranks anything else above it would steer a
+//! probe to the wrong place. Second, the static map must be a
+//! *superset* of the dynamic checker: every one of `ct_dyn`'s 14
+//! measured primitives must resolve to at least one statically tainted
+//! function (the closed-loop contract — anything `ct_dyn` can measure,
+//! `ct_sites` must have predicted).
+
+use falcon_ct::dyncheck::PRIMITIVE_FNS;
+use falcon_ct::sites::covers_primitive;
+use falcon_ct::{CallGraph, SiteKind, SiteMap, TaintMap};
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/ct/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+fn workspace_sites() -> (CallGraph, TaintMap, SiteMap) {
+    let root = workspace_root();
+    let graph = CallGraph::build(root).expect("build call graph");
+    let taint = TaintMap::compute(&graph);
+    let sites = SiteMap::compute(&graph, &taint);
+    (graph, taint, sites)
+}
+
+#[test]
+fn top_ranked_site_is_the_mantissa_multiply() {
+    let (_, _, sites) = workspace_sites();
+    let top = sites.top().expect("workspace has leakage sites");
+    assert_eq!(
+        top.kind,
+        SiteKind::MantissaMul,
+        "expected the secret-mantissa multiply on top, got [{}] at {}:{}",
+        top.kind,
+        top.file,
+        top.line
+    );
+    assert_eq!(
+        top.file, "crates/fpr/src/mul.rs",
+        "the paper's attack point lives in the fpr multiplier, not {}:{}",
+        top.file, top.line
+    );
+    assert!(
+        top.qual.contains("mul_observed"),
+        "top site should be inside Fpr::mul_observed, got {}",
+        top.qual
+    );
+    // All four partial-product lanes are present and lead the ranking
+    // ahead of any generic secret multiply.
+    let mantissa = sites.sites.iter().filter(|s| s.kind == SiteKind::MantissaMul).count();
+    assert!(mantissa >= 4, "expected all four partial-product lanes, found {mantissa}");
+    let first_other =
+        sites.sites.iter().position(|s| s.kind != SiteKind::MantissaMul).unwrap_or(usize::MAX);
+    assert!(
+        sites.sites[..first_other.min(sites.sites.len())]
+            .iter()
+            .all(|s| s.kind == SiteKind::MantissaMul),
+        "a non-mantissa site interleaved into the mantissa block"
+    );
+}
+
+#[test]
+fn static_map_covers_every_dynamic_primitive() {
+    // Superset property: the 14 primitives `ct_dyn` exercises under the
+    // instruction-trace harness must all appear in the static map's
+    // coverage — a dynamic leak with no static prediction would mean
+    // the taint pass has a hole.
+    let (graph, taint, _) = workspace_sites();
+    let missing: Vec<&str> = PRIMITIVE_FNS
+        .iter()
+        .filter(|(_, fns)| !covers_primitive(&graph, &taint, fns))
+        .map(|(name, _)| *name)
+        .collect();
+    assert!(missing.is_empty(), "ct_dyn primitives with no statically predicted site: {missing:?}");
+    assert_eq!(PRIMITIVE_FNS.len(), 14, "primitive registry drifted from ct_dyn");
+}
+
+#[test]
+fn map_finds_sites_across_the_workspace() {
+    // The pass scans every tainted function, not only annotated ones;
+    // the fpr emulation alone contributes branches, indexes, div/mod
+    // and the variable-latency loops.
+    let (_, _, sites) = workspace_sites();
+    assert!(sites.scanned.len() >= 20, "only {} functions scanned", sites.scanned.len());
+    assert!(sites.sites.len() >= 30, "only {} sites found", sites.sites.len());
+    for kind in [
+        SiteKind::MantissaMul,
+        SiteKind::SecretMul,
+        SiteKind::VarLatencyLoop,
+        SiteKind::DivMod,
+        SiteKind::Branch,
+    ] {
+        assert!(
+            sites.sites.iter().any(|s| s.kind == kind),
+            "no [{kind}] site anywhere in the workspace"
+        );
+    }
+    // Scores are monotonically non-increasing down the ranking.
+    assert!(sites.sites.windows(2).all(|w| w[0].score >= w[1].score));
+}
+
+#[test]
+fn amplitude_sites_lead_timing_sites_in_the_real_tree() {
+    // The emsim leakage model is amplitude-based (HW/HD), so the map
+    // must put every power-model site above every purely timing-model
+    // site — a CPA budget spent on a branch site is wasted.
+    let (_, _, sites) = workspace_sites();
+    let last_amplitude = sites
+        .sites
+        .iter()
+        .rposition(|s| matches!(s.kind, SiteKind::MantissaMul | SiteKind::SecretMul))
+        .expect("amplitude sites exist");
+    let first_timing =
+        sites.sites.iter().position(|s| s.kind == SiteKind::Branch).expect("timing sites exist");
+    assert!(
+        last_amplitude < first_timing,
+        "timing site ranked above an amplitude site (#{} vs #{})",
+        first_timing + 1,
+        last_amplitude + 1
+    );
+}

@@ -34,4 +34,4 @@ pub use device::{CountermeasureConfig, Device};
 pub use faults::{FaultModel, FaultState};
 pub use leakage::{GaussianNoise, LeakageModel};
 pub use probe::{MeasurementChain, Scope};
-pub use trace::{Capture, MulOpLayout, StepKind, Trace};
+pub use trace::{Capture, LeakClass, MulOpLayout, StepKind, Trace};

@@ -97,6 +97,64 @@ impl StepKind {
 
     /// Number of micro-ops per multiplication.
     pub const COUNT: usize = 14;
+
+    /// Which leakage model dimension this micro-op couples into: pure
+    /// combinational results image as Hamming weight of the new bus
+    /// value, while the accumulator updates overwrite a live register
+    /// and so image as Hamming distance (see [`crate::leakage`]).
+    pub fn leak_class(self) -> LeakClass {
+        match self {
+            StepKind::AddLoHi | StepKind::AddHiLo | StepKind::AddHiHi => LeakClass::Hd,
+            _ => LeakClass::Hw,
+        }
+    }
+
+    /// Width in bits of the value imaged at this step — the dynamic
+    /// range of the HW/HD leakage and hence the upper bound on the
+    /// signal variance an attacker can correlate against.
+    pub fn word_bits(self) -> u32 {
+        match self {
+            StepKind::OperandLoad => 64,
+            StepKind::MantissaSplit => 28,
+            StepKind::PpLoLo => 50,
+            StepKind::PpLoHi => 53,
+            StepKind::AddLoHi => 26,
+            StepKind::PpHiLo => 53,
+            StepKind::AddHiLo => 26,
+            StepKind::PpHiHi => 56,
+            StepKind::AddHiHi => 56,
+            StepKind::StickyFold => 56,
+            StepKind::Normalize => 55,
+            StepKind::ExponentAdd => 11,
+            StepKind::SignXor => 1,
+            StepKind::Pack => 64,
+        }
+    }
+}
+
+/// Leakage-model dimension a sample couples into: the device model in
+/// [`crate::leakage`] emits `α·HW + β·HD + noise`, and a static
+/// leakage-site classification must know which term carries the signal
+/// for a given operation to rank it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakClass {
+    /// Hamming weight of a freshly computed value on the bus.
+    Hw,
+    /// Hamming distance of a register/accumulator overwrite.
+    Hd,
+    /// No amplitude leakage — the site leaks through latency only.
+    Timing,
+}
+
+impl LeakClass {
+    /// Stable machine-readable identifier for reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            LeakClass::Hw => "hw",
+            LeakClass::Hd => "hd",
+            LeakClass::Timing => "timing",
+        }
+    }
 }
 
 /// The deterministic sample layout of the pointwise-multiplication

@@ -117,6 +117,7 @@ fn gs_norm_ok(f: &[i16], g: &[i16]) -> bool {
 /// precomputed FFT basis and the ffLDL* sampling tree.
 #[derive(Debug, Clone)]
 pub struct SigningKey {
+    // ct: public(logn, h)
     logn: LogN,
     f: Vec<i16>,
     g: Vec<i16>,
