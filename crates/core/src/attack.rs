@@ -19,16 +19,28 @@
 //!   whole window (up to the full 2^25/2^27 guess space) producing the
 //!   correlation matrices behind Figure 4.
 
-use crate::acquire::Dataset;
 use crate::cpa::{CorrMatrix, PearsonSums, SampleSums};
+use crate::error::Result;
 use crate::exec;
 use crate::model::{
     assemble_coefficient, hyp_add_hi, hyp_add_lo, hyp_exponent_with_carry, hyp_partial_product,
     hyp_sign, KnownOperand, SecretHalf,
 };
 use crate::obs;
+use crate::source::{ColumnSource, TargetBlock};
 use falcon_emsim::StepKind;
 use std::sync::{Arc, OnceLock};
+
+/// Fetches one target's column set from a source, panicking on source
+/// failure. The resident [`Dataset`](crate::Dataset) implementation is
+/// infallible for in-range targets, so the historical non-`Result`
+/// attack API stays panic-free there; streamed sources can genuinely
+/// fail (I/O), and callers that must handle that use
+/// [`try_recover_coefficient`] / [`try_coefficient_confidence`].
+fn fetch_block<S: ColumnSource + ?Sized>(src: &S, target: usize) -> TargetBlock<'_> {
+    src.target_block(target)
+        .unwrap_or_else(|e| panic!("column source failed for target {target}: {e}"))
+}
 
 /// Metric handles for the attack hot paths, resolved once. The counters
 /// take *bulk* adds at stage granularity (one add per beam level, not
@@ -119,29 +131,23 @@ struct TargetColumns<'a> {
     extra_prune: [&'a [f32]; 2],
 }
 
-fn product_columns(ds: &Dataset, target: usize, half: SecretHalf) -> TargetColumns<'_> {
+fn product_columns<'a>(block: &'a TargetBlock<'a>, half: SecretHalf) -> TargetColumns<'a> {
     let (step_with_lo, step_with_hi, prune_step) = match half {
         SecretHalf::Low => (StepKind::PpLoLo, StepKind::PpLoHi, StepKind::AddLoHi),
         SecretHalf::High => (StepKind::PpHiLo, StepKind::PpHiHi, StepKind::AddHiHi),
     };
-    let knowns: [Vec<KnownOperand>; 2] = [0, 1]
-        .map(|occ| ds.known_column(target, occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
+    let knowns: [Vec<KnownOperand>; 2] =
+        [0, 1].map(|occ| block.known_column(occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
     let mut cols = Vec::with_capacity(4);
     for (occ, kcol) in knowns.iter().enumerate() {
-        cols.push((
-            kcol.iter().map(|k| k.lo).collect(),
-            ds.sample_column(target, occ, step_with_lo),
-        ));
-        cols.push((
-            kcol.iter().map(|k| k.hi).collect(),
-            ds.sample_column(target, occ, step_with_hi),
-        ));
+        cols.push((kcol.iter().map(|k| k.lo).collect(), block.sample_column(occ, step_with_lo)));
+        cols.push((kcol.iter().map(|k| k.hi).collect(), block.sample_column(occ, step_with_hi)));
     }
     TargetColumns {
         cols,
         knowns,
-        prune: [0, 1].map(|occ| ds.sample_column(target, occ, prune_step)),
-        extra_prune: [0, 1].map(|occ| ds.sample_column(target, occ, StepKind::AddHiHi)),
+        prune: [0, 1].map(|occ| block.sample_column(occ, prune_step)),
+        extra_prune: [0, 1].map(|occ| block.sample_column(occ, StepKind::AddHiHi)),
     }
 }
 
@@ -257,9 +263,28 @@ fn top_two(scored: &[(u64, f64)]) -> ComponentResult {
 }
 
 /// Recovers one mantissa half by incremental extend-and-prune.
-pub fn recover_mantissa_half(
-    ds: &Dataset,
+///
+/// Generic over [`ColumnSource`]: the resident
+/// [`Dataset`](crate::Dataset) and the out-of-core
+/// [`StreamedDataset`](crate::stream::StreamedDataset) score
+/// identically (the kernels consume whole columns in a fixed order).
+/// Panics if the source fails to produce the target's columns; see
+/// [`fetch_block`].
+pub fn recover_mantissa_half<S: ColumnSource + ?Sized>(
+    src: &S,
     target: usize,
+    half: SecretHalf,
+    other_half: Option<u64>,
+    cfg: &AttackConfig,
+) -> ComponentResult {
+    recover_mantissa_half_block(&fetch_block(src, target), half, other_half, cfg)
+}
+
+/// Block-level core of [`recover_mantissa_half`]: scores against an
+/// already-fetched column set, so multi-component recoveries fetch a
+/// streamed target once instead of once per component.
+pub fn recover_mantissa_half_block(
+    block: &TargetBlock<'_>,
     half: SecretHalf,
     other_half: Option<u64>,
     cfg: &AttackConfig,
@@ -273,7 +298,7 @@ pub fn recover_mantissa_half(
         SecretHalf::Low => 25,
         SecretHalf::High => 28,
     };
-    let tc = product_columns(ds, target, half);
+    let tc = product_columns(block, half);
     let mut beam: Vec<u64> = vec![0];
     let mut m_bits = 0u32;
     while m_bits < full_width {
@@ -384,9 +409,28 @@ fn shift_family_closure(beam: &[u64], full_width: u32, half: SecretHalf) -> Vec<
 ///
 /// `keep` bounds the survivors handed to the prune step (their shift
 /// families are closed first, exactly like the incremental path).
-pub fn recover_mantissa_half_monolithic(
-    ds: &Dataset,
+pub fn recover_mantissa_half_monolithic<S: ColumnSource + ?Sized>(
+    src: &S,
     target: usize,
+    half: SecretHalf,
+    other_half: Option<u64>,
+    width: u32,
+    rest: u64,
+    keep: usize,
+) -> ComponentResult {
+    recover_mantissa_half_monolithic_block(
+        &fetch_block(src, target),
+        half,
+        other_half,
+        width,
+        rest,
+        keep,
+    )
+}
+
+/// Block-level core of [`recover_mantissa_half_monolithic`].
+pub fn recover_mantissa_half_monolithic_block(
+    block: &TargetBlock<'_>,
     half: SecretHalf,
     other_half: Option<u64>,
     width: u32,
@@ -400,7 +444,7 @@ pub fn recover_mantissa_half_monolithic(
         SecretHalf::High => 28,
     };
     let keep = keep.max(1);
-    let tc = product_columns(ds, target, half);
+    let tc = product_columns(block, half);
     // Monolithic scoring always uses the whole campaign: one shot is the
     // point.
     let col_sums = tc.extend_sums(usize::MAX);
@@ -458,17 +502,22 @@ pub fn recover_mantissa_half_monolithic(
 }
 
 /// Recovers the sign bit by correlating the XOR step.
-pub fn recover_sign(ds: &Dataset, target: usize) -> ComponentResult {
+pub fn recover_sign<S: ColumnSource + ?Sized>(src: &S, target: usize) -> ComponentResult {
+    recover_sign_block(&fetch_block(src, target))
+}
+
+/// Block-level core of [`recover_sign`].
+pub fn recover_sign_block(block: &TargetBlock<'_>) -> ComponentResult {
     attack_metrics().correlations.add(2);
-    let mut scratch: Vec<f64> = Vec::with_capacity(ds.traces());
+    let mut scratch: Vec<f64> = Vec::with_capacity(block.traces());
     let mut scored = Vec::with_capacity(2);
     for guess in 0u32..2 {
         let mut sums = PearsonSums::default();
         for occ in 0..2 {
-            let knowns = ds.known_column(target, occ);
+            let knowns = block.known_column(occ);
             scratch.clear();
             scratch.extend(knowns.iter().map(|&kb| hyp_sign(guess, &KnownOperand::new(kb))));
-            sums.push_column(&scratch, ds.sample_column(target, occ, StepKind::SignXor));
+            sums.push_column(&scratch, block.sample_column(occ, StepKind::SignXor));
         }
         scored.push((guess as u64, sums.corr()));
     }
@@ -489,9 +538,18 @@ pub fn recover_sign(ds: &Dataset, target: usize) -> ComponentResult {
 /// the tie exactly, so the joint recovery scores each `(sign, exponent)`
 /// pair with the exact micro-op models of the `OperandLoad`,
 /// `ExponentAdd` and `SignXor` steps together.
-pub fn recover_sign_exponent(
-    ds: &Dataset,
+pub fn recover_sign_exponent<S: ColumnSource + ?Sized>(
+    src: &S,
     target: usize,
+    c_hi: u64,
+    d_lo: u64,
+) -> (ComponentResult, ComponentResult) {
+    recover_sign_exponent_block(&fetch_block(src, target), c_hi, d_lo)
+}
+
+/// Block-level core of [`recover_sign_exponent`].
+pub fn recover_sign_exponent_block(
+    block: &TargetBlock<'_>,
     c_hi: u64,
     d_lo: u64,
 ) -> (ComponentResult, ComponentResult) {
@@ -502,7 +560,7 @@ pub fn recover_sign_exponent(
     // depend on the (sign, exponent) guess — struct-of-arrays, so the
     // per-candidate scoring runs `push_column` tiles over contiguous
     // hypothesis and sample series.
-    let pre_len = 2 * ds.traces();
+    let pre_len = 2 * block.traces();
     let mut load_low_hw: Vec<u32> = Vec::with_capacity(pre_len);
     let mut rot_top: Vec<u32> = Vec::with_capacity(pre_len);
     let mut exp_base: Vec<i32> = Vec::with_capacity(pre_len);
@@ -511,10 +569,10 @@ pub fn recover_sign_exponent(
     let mut s_exp: Vec<f32> = Vec::with_capacity(pre_len);
     let mut s_sign: Vec<f32> = Vec::with_capacity(pre_len);
     for occ in 0..2 {
-        s_load.extend_from_slice(ds.sample_column(target, occ, StepKind::OperandLoad));
-        s_exp.extend_from_slice(ds.sample_column(target, occ, StepKind::ExponentAdd));
-        s_sign.extend_from_slice(ds.sample_column(target, occ, StepKind::SignXor));
-        for &kb in ds.known_column(target, occ) {
+        s_load.extend_from_slice(block.sample_column(occ, StepKind::OperandLoad));
+        s_exp.extend_from_slice(block.sample_column(occ, StepKind::ExponentAdd));
+        s_sign.extend_from_slice(block.sample_column(occ, StepKind::SignXor));
+        for &kb in block.known_column(occ) {
             let k = KnownOperand::new(kb);
             let rot = kb.rotate_left(32);
             let mant_mask = (1u64 << 52) - 1;
@@ -573,9 +631,29 @@ pub fn recover_sign_exponent(
 /// sample of the coefficient's two multiplications. Correct recoveries
 /// score near the channel's SNR ceiling; a wrong mantissa or exponent
 /// drags the score down measurably.
-pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
+pub fn coefficient_confidence<S: ColumnSource + ?Sized>(src: &S, target: usize, bits: u64) -> f64 {
+    coefficient_confidence_block(&fetch_block(src, target), bits)
+}
+
+/// Fallible variant of [`coefficient_confidence`] for streamed sources,
+/// where fetching the columns can fail with I/O errors.
+///
+/// # Errors
+///
+/// Propagates the source's [`target_block`](ColumnSource::target_block)
+/// failure.
+pub fn try_coefficient_confidence<S: ColumnSource + ?Sized>(
+    src: &S,
+    target: usize,
+    bits: u64,
+) -> Result<f64> {
+    Ok(coefficient_confidence_block(&src.target_block(target)?, bits))
+}
+
+/// Block-level core of [`coefficient_confidence`].
+pub fn coefficient_confidence_block(block: &TargetBlock<'_>, bits: u64) -> f64 {
     attack_metrics().correlations.incr();
-    let traces = ds.traces();
+    let traces = block.traces();
     let mut sums = PearsonSums::default();
     // One flat hypothesis scratch keyed [step][trace]: `step_words` runs
     // once per trace, its Hamming weights are scattered into per-step
@@ -583,17 +661,14 @@ pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
     // borrowed sample column. No per-invocation `Vec<Vec<_>>`.
     let mut hw = vec![0f64; StepKind::COUNT * traces];
     for occ in 0..2 {
-        for (i, &kb) in ds.known_column(target, occ).iter().enumerate() {
+        for (i, &kb) in block.known_column(occ).iter().enumerate() {
             let words = crate::model::step_words(bits, &KnownOperand::new(kb));
             for (s, &w) in words.iter().enumerate() {
                 hw[s * traces + i] = w.count_ones() as f64;
             }
         }
         for (s, &step) in StepKind::ALL.iter().enumerate() {
-            sums.push_column(
-                &hw[s * traces..(s + 1) * traces],
-                ds.sample_column(target, occ, step),
-            );
+            sums.push_column(&hw[s * traces..(s + 1) * traces], block.sample_column(occ, step));
         }
     }
     sums.corr()
@@ -606,12 +681,17 @@ pub fn coefficient_confidence(ds: &Dataset, target: usize, bits: u64) -> f64 {
 /// can alias between exponent guesses when the known exponents span a
 /// narrow range (see [`recover_sign_exponent`], which the full pipeline
 /// uses instead).
-pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> ComponentResult {
+pub fn recover_exponent<S: ColumnSource + ?Sized>(
+    src: &S,
+    target: usize,
+    c_hi: u64,
+    d_lo: u64,
+) -> ComponentResult {
+    let block = fetch_block(src, target);
     attack_metrics().correlations.add(2046);
-    let knowns: [Vec<KnownOperand>; 2] = [0, 1]
-        .map(|occ| ds.known_column(target, occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
-    let samples: [&[f32]; 2] =
-        [0, 1].map(|occ| ds.sample_column(target, occ, StepKind::ExponentAdd));
+    let knowns: [Vec<KnownOperand>; 2] =
+        [0, 1].map(|occ| block.known_column(occ).iter().map(|&kb| KnownOperand::new(kb)).collect());
+    let samples: [&[f32]; 2] = [0, 1].map(|occ| block.sample_column(occ, StepKind::ExponentAdd));
     let guesses: Vec<u64> = (1..2047).collect();
     let sample_sums: [SampleSums; 2] = [0, 1].map(|occ| SampleSums::new(samples[occ]));
     let scores = exec::map_with(&guesses, Vec::new, |scratch: &mut Vec<f64>, &ef| {
@@ -630,8 +710,7 @@ pub fn recover_exponent(ds: &Dataset, target: usize, c_hi: u64, d_lo: u64) -> Co
 /// One mantissa half via the mode the config selects: incremental
 /// extend-and-prune, or the paper's monolithic full-width enumeration.
 fn recover_half(
-    ds: &Dataset,
-    target: usize,
+    block: &TargetBlock<'_>,
     half: SecretHalf,
     other_half: Option<u64>,
     cfg: &AttackConfig,
@@ -641,9 +720,8 @@ fn recover_half(
             SecretHalf::Low => 25,
             SecretHalf::High => 28,
         };
-        recover_mantissa_half_monolithic(
-            ds,
-            target,
+        recover_mantissa_half_monolithic_block(
+            block,
             half,
             other_half,
             full_width,
@@ -651,12 +729,41 @@ fn recover_half(
             cfg.monolithic_keep,
         )
     } else {
-        recover_mantissa_half(ds, target, half, other_half, cfg)
+        recover_mantissa_half_block(block, half, other_half, cfg)
     }
 }
 
 /// Recovers one full `FFT(f)` coefficient by divide-and-conquer.
-pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> CoefficientResult {
+///
+/// The target's columns are fetched from the source **once** and shared
+/// by every component recovery, so a streamed source pays one pass of
+/// I/O per coefficient regardless of how many refinement rounds run.
+/// Panics on source failure; [`try_recover_coefficient`] is the
+/// fallible variant.
+pub fn recover_coefficient<S: ColumnSource + ?Sized>(
+    src: &S,
+    target: usize,
+    cfg: &AttackConfig,
+) -> CoefficientResult {
+    recover_coefficient_block(&fetch_block(src, target), cfg)
+}
+
+/// Fallible variant of [`recover_coefficient`] for streamed sources.
+///
+/// # Errors
+///
+/// Propagates the source's [`target_block`](ColumnSource::target_block)
+/// failure.
+pub fn try_recover_coefficient<S: ColumnSource + ?Sized>(
+    src: &S,
+    target: usize,
+    cfg: &AttackConfig,
+) -> Result<CoefficientResult> {
+    Ok(recover_coefficient_block(&src.target_block(target)?, cfg))
+}
+
+/// Block-level core of [`recover_coefficient`].
+pub fn recover_coefficient_block(block: &TargetBlock<'_>, cfg: &AttackConfig) -> CoefficientResult {
     let _span = obs::span("attack.coefficient");
     // Alternating refinement: each half's *extend* targets are
     // independent of the other half, but the *prune* additions mix the
@@ -664,10 +771,10 @@ pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> C
     // each other's latest estimate until the pair is stable. This also
     // resolves the degenerate all-zero low half, which is invisible to
     // its own products and only betrayed by the cross-half accumulation.
-    let mut mant_lo = recover_half(ds, target, SecretHalf::Low, None, cfg);
-    let mut mant_hi = recover_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+    let mut mant_lo = recover_half(block, SecretHalf::Low, None, cfg);
+    let mut mant_hi = recover_half(block, SecretHalf::High, Some(mant_lo.value), cfg);
     for _ in 0..2 {
-        let lo = recover_half(ds, target, SecretHalf::Low, Some(mant_hi.value), cfg);
+        let lo = recover_half(block, SecretHalf::Low, Some(mant_hi.value), cfg);
         let lo_stable = lo.value == mant_lo.value;
         mant_lo = lo;
         if lo_stable {
@@ -675,14 +782,14 @@ pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> C
             // half, so re-running it would reproduce itself.
             break;
         }
-        let hi = recover_half(ds, target, SecretHalf::High, Some(mant_lo.value), cfg);
+        let hi = recover_half(block, SecretHalf::High, Some(mant_lo.value), cfg);
         let hi_stable = hi.value == mant_hi.value;
         mant_hi = hi;
         if hi_stable {
             break;
         }
     }
-    let (sign, exponent) = recover_sign_exponent(ds, target, mant_hi.value, mant_lo.value);
+    let (sign, exponent) = recover_sign_exponent_block(block, mant_hi.value, mant_lo.value);
     let bits = assemble_coefficient(
         sign.value as u32,
         exponent.value as u32,
@@ -692,9 +799,17 @@ pub fn recover_coefficient(ds: &Dataset, target: usize, cfg: &AttackConfig) -> C
     CoefficientResult { bits, sign, exponent, mant_lo, mant_hi }
 }
 
-/// Recovers every targeted coefficient of the dataset.
-pub fn recover_all(ds: &Dataset, cfg: &AttackConfig) -> Vec<CoefficientResult> {
-    ds.targets().iter().map(|&t| recover_coefficient(ds, t, cfg)).collect()
+/// Recovers every targeted coefficient of the source, fetching each
+/// target's columns once.
+pub fn recover_all<S: ColumnSource + ?Sized>(
+    src: &S,
+    cfg: &AttackConfig,
+) -> Vec<CoefficientResult> {
+    src.targets()
+        .to_vec()
+        .into_iter()
+        .map(|t| recover_coefficient_block(&fetch_block(src, t), cfg))
+        .collect()
 }
 
 /// Recovers every targeted coefficient with a confidence-guided retry:
@@ -704,13 +819,17 @@ pub fn recover_all(ds: &Dataset, cfg: &AttackConfig) -> Vec<CoefficientResult> {
 ///
 /// Returns the results together with each coefficient's final
 /// confidence.
-pub fn recover_all_verified(ds: &Dataset, cfg: &AttackConfig) -> Vec<(CoefficientResult, f64)> {
-    let mut out: Vec<(CoefficientResult, f64)> = ds
-        .targets()
+pub fn recover_all_verified<S: ColumnSource + ?Sized>(
+    src: &S,
+    cfg: &AttackConfig,
+) -> Vec<(CoefficientResult, f64)> {
+    let targets = src.targets().to_vec();
+    let mut out: Vec<(CoefficientResult, f64)> = targets
         .iter()
         .map(|&t| {
-            let r = recover_coefficient(ds, t, cfg);
-            let conf = coefficient_confidence(ds, t, r.bits);
+            let block = fetch_block(src, t);
+            let r = recover_coefficient_block(&block, cfg);
+            let conf = coefficient_confidence_block(&block, r.bits);
             (r, conf)
         })
         .collect();
@@ -729,12 +848,13 @@ pub fn recover_all_verified(ds: &Dataset, cfg: &AttackConfig) -> Vec<(Coefficien
         beam_width: cfg.beam_width * 8,
         monolithic_keep: cfg.monolithic_keep.saturating_mul(8),
     };
-    for (i, &t) in ds.targets().iter().enumerate() {
+    for (i, &t) in targets.iter().enumerate() {
         if out[i].1 >= cutoff {
             continue;
         }
-        let r = recover_coefficient(ds, t, &wide);
-        let conf = coefficient_confidence(ds, t, r.bits);
+        let block = fetch_block(src, t);
+        let r = recover_coefficient_block(&block, &wide);
+        let conf = coefficient_confidence_block(&block, r.bits);
         if conf > out[i].1 {
             out[i] = (r, conf);
         }
@@ -749,14 +869,15 @@ pub fn recover_all_verified(ds: &Dataset, cfg: &AttackConfig) -> Vec<(Coefficien
 /// step (multiplication — exhibits false positives) and the prune step
 /// (addition — eliminates them), with one time column per micro-op of
 /// the first-occurrence multiplication.
-pub fn monolithic_correlations(
-    ds: &Dataset,
+pub fn monolithic_correlations<S: ColumnSource + ?Sized>(
+    src: &S,
     target: usize,
     half: SecretHalf,
     width: u32,
     rest: u64,
     d_lo_for_high: u64,
 ) -> (Vec<u64>, CorrMatrix, CorrMatrix) {
+    let block = fetch_block(src, target);
     let guesses: Vec<u64> = (0..(1u64 << width)).map(|g| (rest << width) | g).collect();
     let mut extend = CorrMatrix::new(guesses.len(), StepKind::COUNT);
     let mut prune = CorrMatrix::new(guesses.len(), StepKind::COUNT);
@@ -765,11 +886,11 @@ pub fn monolithic_correlations(
         SecretHalf::High => 28,
     };
     let wmask = (1u64 << width) - 1;
-    for trace in 0..ds.traces() {
+    for trace in 0..block.traces() {
         for occ in 0..2 {
-            let k = KnownOperand::new(ds.known(trace, target, occ));
+            let k = KnownOperand::new(block.known(trace, occ));
             let window: Vec<f32> =
-                StepKind::ALL.iter().map(|&s| ds.sample(trace, target, occ, s)).collect();
+                StepKind::ALL.iter().map(|&s| block.sample(trace, occ, s)).collect();
             // Extend hypothesis: the product's low `width` bits, which
             // depend only on the guessed window — this is where the
             // paper's shift-family false positives live (for the full

@@ -21,6 +21,7 @@ use crate::error::{Error, Result};
 use crate::io;
 use crate::obs;
 use crate::screen::{AcquisitionStats, ScreenConfig};
+use crate::source::ColumnSource;
 use falcon_emsim::Device;
 use falcon_sig::rng::Prng;
 use std::io::{Read, Write};
@@ -532,6 +533,340 @@ fn evaluate(state: &mut TargetState, cfg: &CampaignConfig) {
     }
 }
 
+const OCKPT_MAGIC: &[u8; 7] = b"FDNOCKP";
+const OCKPT_VERSION: u8 = 1;
+
+/// An offline campaign: the same adaptive convergence loop as
+/// [`Campaign`], replayed over a fixed trace archive instead of a live
+/// device. Batches "acquire" by revealing the next `batch_size` traces
+/// of the archive's stable trace order, so the convergence decisions —
+/// margin, stability, early stop — behave exactly as they would have
+/// live, and any [`ColumnSource`] (resident or streamed) drives the
+/// full campaign → key → forgery pipeline.
+///
+/// Targets are processed **sequentially**: one target's columns are
+/// fetched (and kept) at a time, so the resident footprint over a
+/// multi-gigabyte streamed archive is one target block plus the ring —
+/// never the whole file. Per target, consumption stops at
+/// `min(source traces, cfg.max_traces)`; `traces_requested` sums the
+/// traces revealed across all targets.
+///
+/// Checkpoints (`FDNOCKP\x01`) record only *logical* progress — cursor,
+/// per-target consumption and convergence trackers — never trace data
+/// or anything source-dependent, so a campaign checkpointed against a
+/// resident dataset and one checkpointed against the same file streamed
+/// are byte-identical.
+#[derive(Debug, Clone)]
+pub struct OfflineCampaign {
+    cfg: CampaignConfig,
+    n: usize,
+    states: Vec<TargetState>,
+    /// Traces revealed so far, per target (parallel to `states`).
+    consumed: Vec<usize>,
+    /// Index into `states` of the target currently being evaluated;
+    /// `states.len()` once every target finished.
+    cursor: usize,
+    traces_requested: usize,
+    /// The cursor target's full single-target dataset, fetched once per
+    /// target and truncated per batch. Dropped when the target
+    /// finishes.
+    cache: Option<Dataset>,
+}
+
+impl OfflineCampaign {
+    /// Prepares an offline campaign over `src`. With empty
+    /// `cfg.targets` every target of the source is attacked, in the
+    /// source's order; otherwise `cfg.targets` must be a subset of the
+    /// source's directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error for a degenerate config (zero batch size
+    /// or budget), a target absent from the source, or an empty
+    /// archive.
+    pub fn new<S: ColumnSource + ?Sized>(src: &S, cfg: CampaignConfig) -> Result<OfflineCampaign> {
+        if cfg.batch_size == 0 || cfg.max_traces == 0 {
+            return Err(Error::Acquisition(
+                "campaign needs a nonzero batch size and trace budget".into(),
+            ));
+        }
+        if src.traces() == 0 {
+            return Err(Error::Acquisition("archive holds no traces".into()));
+        }
+        let n = src.n();
+        let targets: Vec<usize> =
+            if cfg.targets.is_empty() { src.targets().to_vec() } else { cfg.targets.clone() };
+        let states = targets
+            .iter()
+            .map(|&t| {
+                if !src.targets().contains(&t) {
+                    return Err(Error::TargetNotInDataset { target: t });
+                }
+                Ok(TargetState {
+                    target: t,
+                    data: Dataset::empty(n, &[t])?,
+                    last_bits: None,
+                    confidence: 0.0,
+                    stable: 0,
+                    resolved: None,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let consumed = vec![0; states.len()];
+        Ok(OfflineCampaign {
+            cfg,
+            n,
+            states,
+            consumed,
+            cursor: 0,
+            traces_requested: 0,
+            cache: None,
+        })
+    }
+
+    /// Traces revealed from the archive so far, summed over targets.
+    pub fn traces_requested(&self) -> usize {
+        self.traces_requested
+    }
+
+    /// True when every target converged or exhausted its share of the
+    /// archive.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.states.len()
+    }
+
+    /// Reveals one batch of the cursor target's traces and re-evaluates
+    /// its convergence tracker; advances to the next target when this
+    /// one resolves or runs out of traces/budget. Returns `false` when
+    /// the campaign is already done.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures (I/O on a streamed archive) and
+    /// bookkeeping errors; the campaign state is unchanged in that
+    /// case.
+    pub fn step<S: ColumnSource + ?Sized>(&mut self, src: &S) -> Result<bool> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let _batch_span = obs::span("campaign.batch");
+        let target = self.states[self.cursor].target;
+        if self.cache.is_none() {
+            let _fetch_span = obs::span("campaign.fetch_block");
+            self.cache = Some(src.target_block(target)?.to_dataset(self.n)?);
+        }
+        let budget = src.traces().min(self.cfg.max_traces);
+        let batch = self.cfg.batch_size.min(budget - self.consumed[self.cursor]);
+        self.consumed[self.cursor] += batch;
+        self.traces_requested += batch;
+        let state = &mut self.states[self.cursor];
+        {
+            let _eval_span = obs::span("campaign.evaluate");
+            // The prefix is rebuilt from the cached block, so an
+            // evaluation sees byte-identical data no matter which
+            // source produced the block.
+            state.data = self
+                .cache
+                .as_ref()
+                .expect("cache populated above")
+                .truncated(self.consumed[self.cursor]);
+            evaluate(state, &self.cfg);
+        }
+        if state.resolved.is_some() || self.consumed[self.cursor] >= budget {
+            // Target finished: drop its trace data (the report reads
+            // `consumed`), free the cache, move on.
+            state.data = Dataset::empty(self.n, &[target])?;
+            self.cache = None;
+            self.cursor += 1;
+        }
+        obs::metrics().counter("campaign.batches").incr();
+        Ok(true)
+    }
+
+    /// Drives [`OfflineCampaign::step`] until done and returns the
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step error.
+    pub fn run<S: ColumnSource + ?Sized>(&mut self, src: &S) -> Result<CampaignReport> {
+        while self.step(src)? {}
+        Ok(self.report())
+    }
+
+    /// The campaign's current (possibly partial) outcome. Acquisition
+    /// stats are all zero: the archive's screening happened (if ever)
+    /// before it was written.
+    pub fn report(&self) -> CampaignReport {
+        let statuses = self
+            .states
+            .iter()
+            .zip(&self.consumed)
+            .map(|(s, &consumed)| match s.resolved {
+                Some((bits, confidence, traces)) => {
+                    CoefficientStatus::Recovered { target: s.target, bits, confidence, traces }
+                }
+                None => CoefficientStatus::Unconverged {
+                    target: s.target,
+                    best_bits: s.last_bits.unwrap_or(0),
+                    confidence: s.confidence,
+                    traces: consumed,
+                },
+            })
+            .collect();
+        CampaignReport {
+            n: self.n,
+            statuses,
+            traces_requested: self.traces_requested,
+            stats: AcquisitionStats::default(),
+        }
+    }
+
+    /// Serialises the logical progress (`FDNOCKP\x01`): cursor,
+    /// per-target consumption and convergence trackers. No trace data,
+    /// no source identity — resuming requires the same archive and
+    /// config, and the checkpoint bytes are identical whether the
+    /// archive was resident or streamed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn write_checkpoint<W: Write>(&self, mut w: W) -> Result<()> {
+        w.write_all(OCKPT_MAGIC)?;
+        w.write_all(&[OCKPT_VERSION])?;
+        w.write_all(&(self.n as u64).to_le_bytes())?;
+        w.write_all(&(self.cursor as u64).to_le_bytes())?;
+        w.write_all(&(self.traces_requested as u64).to_le_bytes())?;
+        w.write_all(&(self.states.len() as u64).to_le_bytes())?;
+        for (s, &consumed) in self.states.iter().zip(&self.consumed) {
+            w.write_all(&(s.target as u64).to_le_bytes())?;
+            w.write_all(&(consumed as u64).to_le_bytes())?;
+            match s.resolved {
+                Some((bits, conf, traces)) => {
+                    w.write_all(&[1])?;
+                    w.write_all(&bits.to_le_bytes())?;
+                    w.write_all(&conf.to_le_bytes())?;
+                    w.write_all(&(traces as u64).to_le_bytes())?;
+                }
+                None => w.write_all(&[0])?,
+            }
+            match s.last_bits {
+                Some(b) => {
+                    w.write_all(&[1])?;
+                    w.write_all(&b.to_le_bytes())?;
+                }
+                None => w.write_all(&[0])?,
+            }
+            w.write_all(&s.confidence.to_le_bytes())?;
+            w.write_all(&(s.stable as u64).to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints to `path` atomically and durably (see
+    /// [`io::atomic_write`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Persist`] naming the failed persistence step.
+    pub fn checkpoint(&self, path: &Path) -> Result<()> {
+        let ckpt_span = obs::span("campaign.checkpoint");
+        io::atomic_write(path, |w| self.write_checkpoint(w))?;
+        drop(ckpt_span);
+        let (requested, cursor) = (self.traces_requested, self.cursor);
+        obs::emit(|| {
+            obs::Event::new("campaign.offline_checkpoint")
+                .with_u64("traces_requested", requested as u64)
+                .with_u64("cursor", cursor as u64)
+                .with_str("path", path.display().to_string())
+        });
+        Ok(())
+    }
+
+    /// Rebuilds an offline campaign from a checkpoint. The caller
+    /// supplies the same source (or a byte-identical copy — resident
+    /// vs streamed does not matter) and config as the original run;
+    /// the resumed campaign reproduces the uninterrupted one bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedVersion`] for a future version,
+    /// [`Error::InvalidData`] for a malformed checkpoint or one that
+    /// disagrees with the source/config, and [`Error::Io`] on
+    /// truncation.
+    pub fn resume<S: ColumnSource + ?Sized, R: Read>(
+        src: &S,
+        cfg: CampaignConfig,
+        mut r: R,
+    ) -> Result<OfflineCampaign> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic[..7] != OCKPT_MAGIC {
+            return Err(io::bad("not a falcon-down offline-campaign checkpoint (bad magic)"));
+        }
+        if magic[7] != OCKPT_VERSION {
+            return Err(Error::UnsupportedVersion {
+                found: magic[7] as u32,
+                supported: OCKPT_VERSION as u32,
+            });
+        }
+        let mut fresh = OfflineCampaign::new(src, cfg)?;
+        let n = io::checked_count(io::read_u64(&mut r)?, "ring degree")?;
+        if n != fresh.n {
+            return Err(io::bad("checkpoint ring degree disagrees with the source"));
+        }
+        let cursor = io::checked_count(io::read_u64(&mut r)?, "cursor")?;
+        let traces_requested = io::checked_count(io::read_u64(&mut r)?, "trace counter")?;
+        let count = io::checked_count(io::read_u64(&mut r)?, "target count")?;
+        if count != fresh.states.len() || cursor > count {
+            return Err(io::bad("checkpoint target list disagrees with the config"));
+        }
+        for (s, consumed) in fresh.states.iter_mut().zip(fresh.consumed.iter_mut()) {
+            let target = io::checked_count(io::read_u64(&mut r)?, "target index")?;
+            if target != s.target {
+                return Err(io::bad("checkpoint target order disagrees with the config"));
+            }
+            *consumed = io::checked_count(io::read_u64(&mut r)?, "consumed traces")?;
+            s.resolved = match read_u8(&mut r)? {
+                0 => None,
+                1 => {
+                    let bits = io::read_u64(&mut r)?;
+                    let conf = f64::from_bits(io::read_u64(&mut r)?);
+                    let traces = io::checked_count(io::read_u64(&mut r)?, "trace count")?;
+                    Some((bits, conf, traces))
+                }
+                _ => return Err(io::bad("malformed resolution flag")),
+            };
+            s.last_bits = match read_u8(&mut r)? {
+                0 => None,
+                1 => Some(io::read_u64(&mut r)?),
+                _ => return Err(io::bad("malformed winner flag")),
+            };
+            s.confidence = f64::from_bits(io::read_u64(&mut r)?);
+            s.stable = io::checked_count(io::read_u64(&mut r)?, "stability counter")?;
+        }
+        fresh.cursor = cursor;
+        fresh.traces_requested = traces_requested;
+        obs::metrics().counter("campaign.resumes").incr();
+        Ok(fresh)
+    }
+
+    /// [`OfflineCampaign::resume`] from a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// See [`OfflineCampaign::resume`].
+    pub fn resume_from_path<S: ColumnSource + ?Sized>(
+        src: &S,
+        cfg: CampaignConfig,
+        path: &Path,
+    ) -> Result<OfflineCampaign> {
+        let f = std::fs::File::open(path)?;
+        OfflineCampaign::resume(src, cfg, std::io::BufReader::new(f))
+    }
+}
+
 fn read_u8<R: Read>(r: &mut R) -> Result<u8> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
@@ -655,6 +990,77 @@ mod tests {
         let a = c.run(&mut dev, &mut msgs).unwrap();
         let b = resumed.run(&mut dev2, &mut msgs2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offline_campaign_recovers_from_an_archive() {
+        let (mut dev, truth) = bench(1.0, FaultModel::default(), b"offline campaign");
+        let mut msgs = Prng::from_seed(b"offline msgs");
+        let targets: Vec<usize> = (0..8).collect();
+        let ds = Dataset::collect(&mut dev, &targets, 400, &mut msgs);
+        let mut c = OfflineCampaign::new(&ds, small_cfg()).unwrap();
+        let report = c.run(&ds).unwrap();
+        assert!(report.is_complete(), "unconverged: {report:?}");
+        assert_eq!(report.recovered_bits().unwrap(), truth);
+        // Early stop per target: nowhere near 8 × 400 traces revealed.
+        assert!(report.traces_requested < 8 * 400);
+    }
+
+    #[test]
+    fn offline_checkpoint_resumes_bit_identically() {
+        let (mut dev, _) = bench(1.0, FaultModel::default(), b"offline ckpt");
+        let mut msgs = Prng::from_seed(b"offline ckpt msgs");
+        let targets: Vec<usize> = (0..8).collect();
+        let ds = Dataset::collect(&mut dev, &targets, 400, &mut msgs);
+        let mut c = OfflineCampaign::new(&ds, small_cfg()).unwrap();
+        for _ in 0..3 {
+            assert!(c.step(&ds).unwrap());
+        }
+        let mut ckpt = Vec::new();
+        c.write_checkpoint(&mut ckpt).unwrap();
+        let mut resumed = OfflineCampaign::resume(&ds, small_cfg(), &ckpt[..]).unwrap();
+        assert_eq!(resumed.traces_requested(), c.traces_requested());
+        let a = c.run(&ds).unwrap();
+        let b = resumed.run(&ds).unwrap();
+        assert_eq!(a, b);
+        // Final checkpoints are byte-equal too.
+        let (mut fa, mut fb) = (Vec::new(), Vec::new());
+        c.write_checkpoint(&mut fa).unwrap();
+        resumed.write_checkpoint(&mut fb).unwrap();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn offline_campaign_rejects_bad_inputs() {
+        let (mut dev, _) = bench(1.0, FaultModel::default(), b"offline bad");
+        let mut msgs = Prng::from_seed(b"offline bad msgs");
+        let ds = Dataset::collect(&mut dev, &[0, 3], 20, &mut msgs);
+        // Target not in the archive.
+        let cfg = CampaignConfig { targets: vec![5], ..small_cfg() };
+        assert!(matches!(
+            OfflineCampaign::new(&ds, cfg),
+            Err(Error::TargetNotInDataset { target: 5 })
+        ));
+        // Degenerate budget.
+        assert!(OfflineCampaign::new(&ds, CampaignConfig { max_traces: 0, ..small_cfg() }).is_err());
+        // Truncated checkpoint.
+        let mut c = OfflineCampaign::new(&ds, small_cfg()).unwrap();
+        c.step(&ds).unwrap();
+        let mut ckpt = Vec::new();
+        c.write_checkpoint(&mut ckpt).unwrap();
+        for cut in [0, 7, 8, 20, ckpt.len() / 2, ckpt.len() - 1] {
+            assert!(
+                OfflineCampaign::resume(&ds, small_cfg(), &ckpt[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        // Future version.
+        let mut future = ckpt.clone();
+        future[7] = 9;
+        assert!(matches!(
+            OfflineCampaign::resume(&ds, small_cfg(), &future[..]),
+            Err(Error::UnsupportedVersion { found: 9, .. })
+        ));
     }
 
     #[test]

@@ -25,7 +25,131 @@ use std::path::Path;
 
 const MAGIC_PREFIX: &[u8; 7] = b"FDNDSET";
 const VERSION_V1: u8 = 1;
-const VERSION_V2: u8 = 2;
+/// Current (columnar) dataset format version.
+pub const VERSION_V2: u8 = 2;
+
+/// The parsed header of a serialised dataset: everything up to (and
+/// including) the column directory, with **no payload read**. Besides
+/// the dimensions, it knows the byte geometry of the v2 columnar
+/// payload, so out-of-core readers can address any target's contiguous
+/// known/sample regions directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetHeader {
+    /// On-disk format version (1 row-major, 2 columnar).
+    pub version: u8,
+    /// Ring degree.
+    pub n: usize,
+    /// Targeted flat `FFT(f)` indices, in file order.
+    pub targets: Vec<usize>,
+    /// Traces per column.
+    pub traces: usize,
+}
+
+impl DatasetHeader {
+    /// Bytes occupied by the header itself (magic through the target
+    /// directory); the payload starts at this offset.
+    pub fn header_len(&self) -> u64 {
+        8 + 3 * 8 + self.targets.len() as u64 * 8
+    }
+
+    /// Total u64 words in the known-operand payload.
+    pub fn knowns_len(&self) -> usize {
+        self.targets.len() * 2 * self.traces
+    }
+
+    /// Total f32 samples in the sample payload.
+    pub fn points_len(&self) -> usize {
+        self.targets.len() * POINTS_PER_TARGET * self.traces
+    }
+
+    /// Byte offset where the sample payload starts.
+    pub fn points_offset(&self) -> u64 {
+        self.header_len() + self.knowns_len() as u64 * 8
+    }
+
+    /// Total byte length of a well-formed file with this header.
+    pub fn file_len(&self) -> u64 {
+        self.points_offset() + self.points_len() as u64 * 4
+    }
+
+    /// Byte range `(offset, len)` of target slot `ti`'s known-operand
+    /// block (`[occ][trace]`, `2·traces` u64 words). **v2 only** — the
+    /// v1 row-major payload interleaves targets per trace and has no
+    /// contiguous per-target region.
+    pub fn target_knowns_range(&self, ti: usize) -> (u64, u64) {
+        debug_assert!(self.version == VERSION_V2 && ti < self.targets.len());
+        let len = 2 * self.traces as u64 * 8;
+        (self.header_len() + ti as u64 * len, len)
+    }
+
+    /// Byte range `(offset, len)` of target slot `ti`'s sample block
+    /// (`[occ][step][trace]`, `28·traces` f32 samples). **v2 only.**
+    pub fn target_points_range(&self, ti: usize) -> (u64, u64) {
+        debug_assert!(self.version == VERSION_V2 && ti < self.targets.len());
+        let len = POINTS_PER_TARGET as u64 * self.traces as u64 * 4;
+        (self.points_offset() + ti as u64 * len, len)
+    }
+
+    /// Position of `target` in the file's target directory.
+    pub fn target_slot(&self, target: usize) -> Option<usize> {
+        self.targets.iter().position(|&t| t == target)
+    }
+}
+
+/// Parses a dataset header, stopping after the column (target)
+/// directory: nothing of the payload is read or buffered, so probing
+/// the dimensions of a multi-gigabyte archive costs a few hundred
+/// bytes of I/O.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidData`] on a bad magic or implausible or
+/// overflowing dimensions, [`Error::UnsupportedVersion`] on a version
+/// this build does not understand, and [`Error::Io`] on truncation.
+pub fn read_dataset_header<R: Read>(r: &mut R) -> Result<DatasetHeader> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic[..7] != MAGIC_PREFIX {
+        return Err(bad("not a falcon-down dataset (bad magic)"));
+    }
+    let version = magic[7];
+    if version != VERSION_V1 && version != VERSION_V2 {
+        return Err(Error::UnsupportedVersion {
+            found: u32::from(version),
+            supported: u32::from(VERSION_V2),
+        });
+    }
+    let n = checked_count(read_u64(r)?, "ring degree")?;
+    if !n.is_power_of_two() || !(2..=1 << 10).contains(&n) {
+        return Err(bad("invalid ring degree"));
+    }
+    let n_targets = checked_count(read_u64(r)?, "target count")?;
+    let traces = checked_count(read_u64(r)?, "trace count")?;
+    if n_targets == 0 || n_targets > n || traces > 1 << 28 {
+        return Err(bad("implausible dimensions"));
+    }
+    let targets_u = read_u64s(r, n_targets)?;
+    let mut targets = Vec::with_capacity(n_targets);
+    for t in targets_u {
+        let t = checked_count(t, "target index")?;
+        if t >= n {
+            return Err(bad("target index out of range"));
+        }
+        targets.push(t);
+    }
+    // The length helpers multiply n_targets (<= 1024) by traces
+    // (<= 2^28) by <= 28: comfortably inside u64, but re-check the
+    // usize-facing products on 32-bit hosts.
+    traces
+        .checked_mul(n_targets)
+        .and_then(|v| v.checked_mul(2))
+        .ok_or_else(|| bad("known-operand count overflows"))?;
+    traces
+        .checked_mul(n_targets)
+        .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
+        .ok_or_else(|| bad("sample count overflows"))?;
+    Ok(DatasetHeader { version, n, targets, traces })
+}
 
 /// Serialises a dataset in the current (v2, columnar) format.
 ///
@@ -214,46 +338,10 @@ pub(crate) fn read_f32s<R: Read>(r: &mut R, count: usize) -> Result<Vec<f32>> {
 /// payload is read incrementally, so a corrupt or hostile header cannot
 /// trigger an abort-on-OOM or a capacity overflow.
 pub fn read_dataset<R: Read>(mut r: R) -> Result<Dataset> {
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic[..7] != MAGIC_PREFIX {
-        return Err(bad("not a falcon-down dataset (bad magic)"));
-    }
-    let version = magic[7];
-    if version != VERSION_V1 && version != VERSION_V2 {
-        return Err(Error::UnsupportedVersion {
-            found: u32::from(version),
-            supported: u32::from(VERSION_V2),
-        });
-    }
-    let n = checked_count(read_u64(&mut r)?, "ring degree")?;
-    if !n.is_power_of_two() || !(2..=1 << 10).contains(&n) {
-        return Err(bad("invalid ring degree"));
-    }
-    let n_targets = checked_count(read_u64(&mut r)?, "target count")?;
-    let traces = checked_count(read_u64(&mut r)?, "trace count")?;
-    if n_targets == 0 || n_targets > n || traces > 1 << 28 {
-        return Err(bad("implausible dimensions"));
-    }
-    let targets_u = read_u64s(&mut r, n_targets)?;
-    let mut targets = Vec::with_capacity(n_targets);
-    for t in targets_u {
-        let t = checked_count(t, "target index")?;
-        if t >= n {
-            return Err(bad("target index out of range"));
-        }
-        targets.push(t);
-    }
-    let known_len = traces
-        .checked_mul(n_targets)
-        .and_then(|v| v.checked_mul(2))
-        .ok_or_else(|| bad("known-operand count overflows"))?;
-    let points_len = traces
-        .checked_mul(n_targets)
-        .and_then(|v| v.checked_mul(POINTS_PER_TARGET))
-        .ok_or_else(|| bad("sample count overflows"))?;
-    let knowns = read_u64s(&mut r, known_len)?;
-    let points = read_f32s(&mut r, points_len)?;
+    let hdr = read_dataset_header(&mut r)?;
+    let knowns = read_u64s(&mut r, hdr.knowns_len())?;
+    let points = read_f32s(&mut r, hdr.points_len())?;
+    let DatasetHeader { version, n, targets, traces } = hdr;
     if version == VERSION_V1 {
         Dataset::try_from_raw_parts(n, targets, traces, knowns, points)
     } else {
@@ -337,6 +425,40 @@ mod tests {
         // v2 is a byte dump of the columnar buffers: no transpose on load.
         assert_eq!(back.knowns_columnar(), ds.knowns_columnar());
         assert_eq!(back.points_columnar(), ds.points_columnar());
+    }
+
+    #[test]
+    fn header_knows_the_byte_geometry() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let hdr = read_dataset_header(&mut &buf[..]).unwrap();
+        assert_eq!(hdr.version, VERSION_V2);
+        assert_eq!(hdr.n, ds.n());
+        assert_eq!(hdr.targets, ds.targets());
+        assert_eq!(hdr.traces, ds.traces());
+        assert_eq!(hdr.file_len(), buf.len() as u64);
+        // The per-target ranges address exactly the columnar buffers.
+        for (ti, &t) in ds.targets().iter().enumerate() {
+            assert_eq!(hdr.target_slot(t), Some(ti));
+            let (off, len) = hdr.target_knowns_range(ti);
+            let bytes = &buf[off as usize..(off + len) as usize];
+            let words: Vec<u64> =
+                bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
+            let base = ti * 2 * ds.traces();
+            assert_eq!(words, ds.knowns_columnar()[base..base + 2 * ds.traces()]);
+            let (off, len) = hdr.target_points_range(ti);
+            let bytes = &buf[off as usize..(off + len) as usize];
+            let samples: Vec<f32> =
+                bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+            let base = ti * POINTS_PER_TARGET * ds.traces();
+            assert_eq!(samples, ds.points_columnar()[base..base + POINTS_PER_TARGET * ds.traces()]);
+        }
+        assert_eq!(hdr.target_slot(ds.n()), None);
+        // Header parsing must not consume the payload.
+        let mut r = &buf[..];
+        read_dataset_header(&mut r).unwrap();
+        assert_eq!(r.len() as u64, buf.len() as u64 - hdr.header_len());
     }
 
     #[test]

@@ -60,12 +60,15 @@ pub mod countermeasure;
 pub mod cpa;
 pub mod error;
 pub mod exec;
+pub mod ingest;
 pub mod io;
 pub mod model;
 pub mod ntt_attack;
 pub mod orch;
 pub mod recover;
 pub mod screen;
+pub mod source;
+pub mod stream;
 pub mod template;
 
 pub use acquire::Dataset;
@@ -74,8 +77,10 @@ pub use attack::{
     monolithic_correlations, recover_all, recover_coefficient, recover_mantissa_half_monolithic,
     AttackConfig, CoefficientResult, ComponentResult,
 };
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, CoefficientStatus};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, CoefficientStatus, OfflineCampaign};
 pub use error::{Error, Result};
 pub use orch::{JobSpec, JobState, JobStatus, JobStore, Supervisor, SupervisorConfig};
 pub use recover::{invert_fft_f, key_from_fft_bits, recover_private_key, RecoveredKey};
 pub use screen::{AcquisitionStats, ScreenConfig};
+pub use source::{ColumnSource, TargetBlock};
+pub use stream::{RingConfig, StreamedDataset};

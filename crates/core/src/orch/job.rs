@@ -18,7 +18,7 @@ use falcon_sig::{KeyPair, LogN, VerifyingKey};
 use std::io::{Read, Write};
 
 const SPEC_MAGIC: &[u8; 7] = b"FDNJSPC";
-const SPEC_VERSION: u8 = 1;
+const SPEC_VERSION: u8 = 2;
 const STATE_MAGIC: &[u8; 7] = b"FDNJSTA";
 const STATE_VERSION: u8 = 1;
 
@@ -62,6 +62,18 @@ pub struct JobSpec {
     pub stall_steps: Vec<u64>,
     /// Injected stall duration, in milliseconds.
     pub stall_ms: u64,
+    /// Path to an archived `FDNDSET\x02` dataset. Empty (the default)
+    /// runs the job against the seeded simulated victim; non-empty
+    /// streams the archive through a
+    /// [`StreamedDataset`](crate::stream::StreamedDataset) instead —
+    /// no device, no ground truth, acquisition replaced by I/O.
+    pub dataset: String,
+    /// Prefetch ring chunk size in bytes for a streamed job; `0` uses
+    /// the [`RingConfig`](crate::stream::RingConfig) default.
+    pub ring_chunk_bytes: u64,
+    /// Prefetch ring depth (chunks in flight) for a streamed job; `0`
+    /// uses the default.
+    pub ring_depth: u64,
 }
 
 impl Default for JobSpec {
@@ -82,6 +94,9 @@ impl Default for JobSpec {
             panic_steps: Vec::new(),
             stall_steps: Vec::new(),
             stall_ms: 0,
+            dataset: String::new(),
+            ring_chunk_bytes: 0,
+            ring_depth: 0,
         }
     }
 }
@@ -120,7 +135,37 @@ impl JobSpec {
         if !self.noise_sigma.is_finite() || self.noise_sigma < 0.0 {
             return Err(Error::Orchestration("noise sigma must be finite and non-negative".into()));
         }
+        if self.dataset.is_empty() && (self.ring_chunk_bytes != 0 || self.ring_depth != 0) {
+            return Err(Error::Orchestration(
+                "ring parameters are only meaningful for a streamed (dataset-backed) job".into(),
+            ));
+        }
+        if !self.dataset.is_empty() {
+            self.ring_config()
+                .validate()
+                .map_err(|e| Error::Orchestration(format!("bad ring parameters: {e}")))?;
+        }
         Ok(())
+    }
+
+    /// Whether this job streams an archived dataset instead of driving
+    /// the simulated victim.
+    pub fn is_streamed(&self) -> bool {
+        !self.dataset.is_empty()
+    }
+
+    /// The prefetch-ring configuration for a streamed job; zero fields
+    /// fall back to the [`RingConfig`] defaults.
+    pub fn ring_config(&self) -> crate::stream::RingConfig {
+        let default = crate::stream::RingConfig::default();
+        crate::stream::RingConfig {
+            chunk_bytes: if self.ring_chunk_bytes == 0 {
+                default.chunk_bytes
+            } else {
+                self.ring_chunk_bytes as usize
+            },
+            depth: if self.ring_depth == 0 { default.depth } else { self.ring_depth as usize },
+        }
     }
 
     /// The campaign configuration this spec drives.
@@ -190,6 +235,10 @@ impl JobSpec {
         write_u64_list(&mut w, &self.panic_steps)?;
         write_u64_list(&mut w, &self.stall_steps)?;
         w.write_all(&self.stall_ms.to_le_bytes())?;
+        // v2 suffix: streamed-dataset binding.
+        write_str(&mut w, &self.dataset)?;
+        w.write_all(&self.ring_chunk_bytes.to_le_bytes())?;
+        w.write_all(&self.ring_depth.to_le_bytes())?;
         Ok(())
     }
 
@@ -200,7 +249,7 @@ impl JobSpec {
     /// Returns [`Error::InvalidData`] / [`Error::UnsupportedVersion`] on
     /// malformed input, [`Error::Io`] on truncation.
     pub fn read<R: Read>(mut r: R) -> Result<JobSpec> {
-        read_magic(&mut r, SPEC_MAGIC, SPEC_VERSION)?;
+        let version = read_magic(&mut r, SPEC_MAGIC, SPEC_VERSION)?;
         let name = read_str(&mut r, MAX_NAME_LEN, "job name")?;
         let logn = u32::try_from(io::read_u64(&mut r)?)
             .map_err(|_| io::bad("implausible ring-degree exponent"))?;
@@ -219,6 +268,13 @@ impl JobSpec {
         let panic_steps = read_u64_list(&mut r, "panic-step list")?;
         let stall_steps = read_u64_list(&mut r, "stall-step list")?;
         let stall_ms = io::read_u64(&mut r)?;
+        // v1 specs predate streamed jobs; they read back as simulated
+        // victims with default ring parameters.
+        let (dataset, ring_chunk_bytes, ring_depth) = if version >= 2 {
+            (read_str(&mut r, 4096, "dataset path")?, io::read_u64(&mut r)?, io::read_u64(&mut r)?)
+        } else {
+            (String::new(), 0, 0)
+        };
         let spec = JobSpec {
             name,
             logn,
@@ -235,6 +291,9 @@ impl JobSpec {
             panic_steps,
             stall_steps,
             stall_ms,
+            dataset,
+            ring_chunk_bytes,
+            ring_depth,
         };
         spec.validate()?;
         Ok(spec)
@@ -439,19 +498,22 @@ impl JobStatus {
     }
 }
 
-fn read_magic<R: Read>(r: &mut R, magic: &[u8; 7], version: u8) -> Result<()> {
+/// Reads and checks a magic/version preamble, accepting any version in
+/// `1..=max_version` and returning the version found (callers branch on
+/// it for back-compat fields).
+fn read_magic<R: Read>(r: &mut R, magic: &[u8; 7], max_version: u8) -> Result<u8> {
     let mut head = [0u8; 8];
     r.read_exact(&mut head)?;
     if &head[..7] != magic {
         return Err(io::bad("bad magic for an orchestrator record"));
     }
-    if head[7] != version {
+    if head[7] == 0 || head[7] > max_version {
         return Err(Error::UnsupportedVersion {
             found: u32::from(head[7]),
-            supported: u32::from(version),
+            supported: u32::from(max_version),
         });
     }
-    Ok(())
+    Ok(head[7])
 }
 
 fn write_str<W: Write>(w: &mut W, s: &str) -> Result<()> {
@@ -541,6 +603,61 @@ mod tests {
         for cut in 0..buf.len() {
             assert!(JobStatus::read(&buf[..cut]).is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn streamed_spec_roundtrips_and_validates_ring() {
+        let s = JobSpec {
+            dataset: "/data/capture.fdnd".into(),
+            ring_chunk_bytes: 4096,
+            ring_depth: 3,
+            ..spec()
+        };
+        let mut buf = Vec::new();
+        s.write(&mut buf).unwrap();
+        assert_eq!(JobSpec::read(&buf[..]).unwrap(), s);
+        assert!(s.is_streamed());
+        assert_eq!(s.ring_config().chunk_bytes, 4096);
+        // Zero ring fields fall back to defaults…
+        let d = JobSpec { dataset: "x.fdnd".into(), ..spec() };
+        assert_eq!(d.ring_config(), crate::stream::RingConfig::default());
+        // …misaligned chunks are rejected…
+        let bad = JobSpec { dataset: "x.fdnd".into(), ring_chunk_bytes: 1001, ..spec() };
+        assert!(bad.validate().is_err());
+        // …and ring knobs without a dataset are meaningless.
+        let orphan = JobSpec { ring_depth: 4, ..spec() };
+        assert!(orphan.validate().is_err());
+    }
+
+    #[test]
+    fn v1_specs_still_read_as_simulated_jobs() {
+        // A byte-exact v1 stream (the pre-streaming writer layout).
+        let s = spec();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SPEC_MAGIC);
+        buf.push(1);
+        write_str(&mut buf, &s.name).unwrap();
+        buf.extend_from_slice(&u64::from(s.logn).to_le_bytes());
+        buf.extend_from_slice(&s.noise_sigma.to_le_bytes());
+        write_str(&mut buf, &s.seed).unwrap();
+        for v in [
+            s.batch_size as u64,
+            s.max_traces as u64,
+            u64::from(s.steps_per_slice),
+            u64::from(s.max_retries),
+            s.step_deadline_ms,
+            s.job_deadline_ms,
+            s.backoff_base_ms,
+            s.backoff_cap_ms,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        write_u64_list(&mut buf, &s.panic_steps).unwrap();
+        write_u64_list(&mut buf, &s.stall_steps).unwrap();
+        buf.extend_from_slice(&s.stall_ms.to_le_bytes());
+        let read = JobSpec::read(&buf[..]).unwrap();
+        assert_eq!(read, s);
+        assert!(!read.is_streamed());
     }
 
     #[test]

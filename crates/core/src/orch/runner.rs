@@ -15,11 +15,12 @@
 //! supervisor's retry/backoff/deadline machinery is exercised by tests
 //! without any OS-level trickery.
 
-use crate::campaign::{Campaign, CampaignReport};
+use crate::campaign::{Campaign, CampaignReport, OfflineCampaign};
 use crate::error::Result;
 use crate::obs;
 use crate::orch::job::{JobSpec, Victim};
 use crate::orch::store::JobStore;
+use crate::stream::StreamedDataset;
 use std::collections::BTreeSet;
 
 /// What one supervision slice accomplished.
@@ -63,41 +64,80 @@ impl FaultInjector {
     }
 }
 
-/// One job's in-memory execution state: victim bench plus campaign.
+/// The two acquisition engines a job can run on: a seeded simulated
+/// victim (live capture), or an archived dataset streamed from disk.
+enum Engine {
+    /// Simulated victim: acquisition drives the instrumented device.
+    Device {
+        /// The reconstructed victim bench (boxed: the device dwarfs the
+        /// streamed variant).
+        victim: Box<Victim>,
+        /// The device-backed resumable campaign.
+        campaign: Campaign,
+    },
+    /// Streamed archive: acquisition is a bounded-ring file read.
+    Stream {
+        /// The chunk-streamed dataset.
+        source: StreamedDataset,
+        /// The source-agnostic offline campaign.
+        campaign: OfflineCampaign,
+    },
+}
+
+/// One job's in-memory execution state: acquisition engine plus
+/// campaign.
 pub struct JobRuntime {
     spec: JobSpec,
-    victim: Victim,
-    campaign: Campaign,
+    engine: Engine,
     /// Global batch index (survives rebuilds via `traces_requested`).
     batches_done: u64,
 }
 
 impl JobRuntime {
-    /// Reconstructs a job's runtime: builds the seeded victim and either
-    /// resumes the persisted checkpoint (rewinding the device and
-    /// message streams to their checkpointed positions) or starts a
-    /// fresh campaign.
+    /// Reconstructs a job's runtime. For a simulated job this builds
+    /// the seeded victim and either resumes the persisted checkpoint
+    /// (rewinding the device and message streams to their checkpointed
+    /// positions) or starts a fresh campaign. For a streamed job
+    /// (`spec.dataset` non-empty) it opens the archive through the
+    /// prefetch ring and builds/resumes an [`OfflineCampaign`], whose
+    /// checkpoints carry logical progress only — the archive itself is
+    /// the replay source.
     ///
     /// # Errors
     ///
-    /// Propagates spec validation, checkpoint parse and campaign
-    /// construction errors.
+    /// Propagates spec validation, dataset open, checkpoint parse and
+    /// campaign construction errors.
     pub fn prepare(spec: &JobSpec, store: &JobStore) -> Result<JobRuntime> {
         spec.validate()?;
-        let mut victim = spec.build_victim()?;
         let ckpt = store.checkpoint_path(&spec.name);
-        let campaign = if ckpt.exists() {
-            Campaign::resume_from_path(
-                spec.campaign_config(),
-                &mut victim.device,
-                &mut victim.msgs,
-                &ckpt,
-            )?
+        let engine = if spec.is_streamed() {
+            let source = StreamedDataset::open(&spec.dataset, spec.ring_config())?;
+            let campaign = if ckpt.exists() {
+                OfflineCampaign::resume_from_path(&source, spec.campaign_config(), &ckpt)?
+            } else {
+                OfflineCampaign::new(&source, spec.campaign_config())?
+            };
+            Engine::Stream { source, campaign }
         } else {
-            Campaign::new(spec.n(), spec.campaign_config())?
+            let mut victim = spec.build_victim()?;
+            let campaign = if ckpt.exists() {
+                Campaign::resume_from_path(
+                    spec.campaign_config(),
+                    &mut victim.device,
+                    &mut victim.msgs,
+                    &ckpt,
+                )?
+            } else {
+                Campaign::new(spec.n(), spec.campaign_config())?
+            };
+            Engine::Device { victim: Box::new(victim), campaign }
         };
-        let batches_done = (campaign.traces_requested() as u64).div_ceil(spec.batch_size as u64);
-        Ok(JobRuntime { spec: spec.clone(), victim, campaign, batches_done })
+        let traces = match &engine {
+            Engine::Device { campaign, .. } => campaign.traces_requested(),
+            Engine::Stream { campaign, .. } => campaign.traces_requested(),
+        };
+        let batches_done = (traces as u64).div_ceil(spec.batch_size as u64);
+        Ok(JobRuntime { spec: spec.clone(), engine, batches_done })
     }
 
     /// The job's spec.
@@ -107,17 +147,25 @@ impl JobRuntime {
 
     /// The campaign's current (possibly partial) report.
     pub fn report(&self) -> CampaignReport {
-        self.campaign.report()
+        match &self.engine {
+            Engine::Device { campaign, .. } => campaign.report(),
+            Engine::Stream { campaign, .. } => campaign.report(),
+        }
     }
 
-    /// Ground-truth `FFT(f)` bits of the simulated victim.
+    /// Ground-truth `FFT(f)` bits of the simulated victim. Empty for a
+    /// streamed job: an archive carries no key material, only leakage.
     pub fn truth(&self) -> &[u64] {
-        &self.victim.truth
+        match &self.engine {
+            Engine::Device { victim, .. } => &victim.truth,
+            Engine::Stream { .. } => &[],
+        }
     }
 
     /// Runs one supervision slice: up to `spec.steps_per_slice` campaign
     /// batches, with injected faults fired at their scheduled batch
-    /// indices.
+    /// indices (faults fire identically on both engines — a streamed
+    /// worker can panic or stall mid-read too).
     ///
     /// # Errors
     ///
@@ -128,40 +176,57 @@ impl JobRuntime {
         let mut done = false;
         for _ in 0..self.spec.steps_per_slice {
             injector.fire(&self.spec, self.batches_done);
-            if !self.campaign.step(&mut self.victim.device, &mut self.victim.msgs)? {
+            let advanced = match &mut self.engine {
+                Engine::Device { victim, campaign } => {
+                    campaign.step(&mut victim.device, &mut victim.msgs)?
+                }
+                Engine::Stream { source, campaign } => campaign.step(source)?,
+            };
+            if !advanced {
                 done = true;
                 break;
             }
             self.batches_done += 1;
             steps += 1;
-            if self.campaign.is_done() {
+            let finished = match &self.engine {
+                Engine::Device { campaign, .. } => campaign.is_done(),
+                Engine::Stream { campaign, .. } => campaign.is_done(),
+            };
+            if finished {
                 done = true;
                 break;
             }
         }
-        let report = self.campaign.report();
+        let report = self.report();
+        let traces_requested = match &self.engine {
+            Engine::Device { campaign, .. } => campaign.traces_requested(),
+            Engine::Stream { campaign, .. } => campaign.traces_requested(),
+        };
         Ok(SliceOutcome {
             steps,
             done,
             complete: report.is_complete(),
-            traces_requested: self.campaign.traces_requested(),
+            traces_requested,
             recovered: report.recovered_count(),
         })
     }
 
-    /// Durably checkpoints the campaign (device and message stream
-    /// positions included) through the store.
+    /// Durably checkpoints the campaign through the store. A simulated
+    /// job's checkpoint embeds the device and message stream positions;
+    /// a streamed job's checkpoint is logical progress only.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Persist`](crate::error::Error::Persist) on a
     /// failed durable write.
     pub fn checkpoint(&self, store: &JobStore) -> Result<()> {
-        self.campaign.checkpoint(
-            &self.victim.device,
-            &self.victim.msgs,
-            &store.checkpoint_path(&self.spec.name),
-        )
+        let path = store.checkpoint_path(&self.spec.name);
+        match &self.engine {
+            Engine::Device { victim, campaign } => {
+                campaign.checkpoint(&victim.device, &victim.msgs, &path)
+            }
+            Engine::Stream { campaign, .. } => campaign.checkpoint(&path),
+        }
     }
 }
 
@@ -233,6 +298,66 @@ mod tests {
         assert_eq!(rt.report().recovered_bits().unwrap(), want);
         let _ = std::fs::remove_dir_all(&dir_a);
         let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn streamed_job_converges_and_rebuilds_bit_identically() {
+        use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope};
+        use falcon_sig::rng::Prng;
+        use falcon_sig::{KeyPair, LogN};
+
+        let dir = tmp_dir("streamed");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Archive a small seeded capture to disk.
+        let mut rng = Prng::from_seed(b"streamed runner key");
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, 1.0),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
+        };
+        let mut dev = Device::new(kp.into_parts().0, chain, b"streamed runner dev");
+        let mut msgs = Prng::from_seed(b"streamed runner msgs");
+        let targets: Vec<usize> = (0..8).collect();
+        let ds = crate::acquire::Dataset::collect(&mut dev, &targets, 400, &mut msgs);
+        let archive = dir.join("capture.fdnd");
+        crate::io::atomic_write(&archive, |w| crate::io::write_dataset(&ds, w)).unwrap();
+
+        let spec = JobSpec {
+            dataset: archive.to_string_lossy().into_owned(),
+            ring_chunk_bytes: 1024,
+            ring_depth: 2,
+            ..spec("runner-streamed")
+        };
+        let store = JobStore::open(dir.join("store-a")).unwrap();
+        let mut rt = JobRuntime::prepare(&spec, &store).unwrap();
+        assert!(rt.truth().is_empty(), "archives carry no ground truth");
+        let mut inj = FaultInjector::default();
+        loop {
+            let out = rt.slice(&mut inj).unwrap();
+            rt.checkpoint(&store).unwrap();
+            if out.done {
+                assert!(out.complete, "streamed campaign should converge: {out:?}");
+                break;
+            }
+        }
+        let bits = rt.report().recovered_bits().unwrap();
+        assert_eq!(bits, truth, "streamed recovery must match the archived victim's key");
+
+        // Crash-at-every-boundary torture on the streamed engine.
+        let store_b = JobStore::open(dir.join("store-b")).unwrap();
+        let mut done = false;
+        while !done {
+            let mut rt = JobRuntime::prepare(&spec, &store_b).unwrap();
+            let out = rt.slice(&mut inj).unwrap();
+            rt.checkpoint(&store_b).unwrap();
+            done = out.done;
+        }
+        let rt = JobRuntime::prepare(&spec, &store_b).unwrap();
+        assert_eq!(rt.report().recovered_bits().unwrap(), bits);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

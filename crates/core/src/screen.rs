@@ -218,7 +218,7 @@ impl Dataset {
         let mut ds = scatter_rows(n, targets, &rows)?;
         if let Some(c) = cfg {
             if c.mad_k > 0.0 {
-                stats.winsorized = winsorize_columns(&mut ds, c.mad_k);
+                stats.winsorized = winsorize_dataset(&mut ds, c.mad_k);
             }
         }
         drop(gates_span);
@@ -358,7 +358,13 @@ fn shifted_correlation(samples: &[f32], reference: &[f32], shift: isize) -> f64 
 /// `(target, occ, step)` column is a contiguous `traces`-long run of the
 /// sample buffer, so the pass is a straight sweep with no strided
 /// gathers.
-fn winsorize_columns(ds: &mut Dataset, k: f64) -> usize {
+/// Clamps per-column outliers to `median ± k·1.4826·MAD` in place and
+/// returns the number of samples clamped — the same robust clamp the
+/// live screening gate applies, exposed for imported foreign archives
+/// ([`crate::ingest`]), whose oscilloscope glitches never passed
+/// through [`Dataset::collect_screened`]. Datasets with fewer than 8
+/// traces are left untouched (no meaningful MAD estimate).
+pub fn winsorize_dataset(ds: &mut Dataset, k: f64) -> usize {
     let traces = ds.traces();
     if traces < 8 {
         // Too few traces for a meaningful MAD estimate.

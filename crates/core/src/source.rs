@@ -1,0 +1,272 @@
+//! The column-lending contract of the data plane.
+//!
+//! Every analysis stage in this crate — the CPA kernels, the
+//! extend-and-prune attack, campaign convergence, the NTT attack —
+//! consumes traces **column-wise**: one known-operand column and a
+//! handful of sample columns per target, each `traces` long. The
+//! resident [`Dataset`] happens to hold those columns contiguously in
+//! RAM, but nothing downstream actually needs the whole dataset at
+//! once; it needs *one target's columns at a time*.
+//!
+//! [`ColumnSource`] names that contract. A source hands out
+//! [`TargetBlock`]s — the complete column set of a single target — and
+//! implementations are free to lend borrowed slices (the resident
+//! [`Dataset`]) or to materialise the block from disk on demand (the
+//! out-of-core [`StreamedDataset`](crate::stream::StreamedDataset)).
+//! Because the attack layers consume whole columns in a fixed order,
+//! any source that returns byte-identical blocks yields bit-identical
+//! results — the determinism suite pins exactly this.
+
+use crate::acquire::{Dataset, POINTS_PER_TARGET};
+use crate::error::{Error, Result};
+use falcon_emsim::StepKind;
+use std::borrow::Cow;
+
+/// The complete column set of one target: both occurrences' known
+/// operands (`[occ][trace]`, `2·traces` words) and all sample columns
+/// (`[occ][step][trace]`, `28·traces` samples) — the exact columnar
+/// layout of the v2 on-disk format and the in-memory [`Dataset`].
+///
+/// Borrowing sources lend `Cow::Borrowed` slices with zero copies;
+/// streaming sources return `Cow::Owned` buffers decoded from the
+/// prefetch ring.
+#[derive(Debug, Clone)]
+pub struct TargetBlock<'a> {
+    target: usize,
+    traces: usize,
+    knowns: Cow<'a, [u64]>,
+    points: Cow<'a, [f32]>,
+}
+
+impl<'a> TargetBlock<'a> {
+    /// Assembles a block, validating the column lengths against
+    /// `traces`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeMismatch`] when either buffer disagrees
+    /// with the `[occ][(step)][trace]` geometry.
+    pub fn new(
+        target: usize,
+        traces: usize,
+        knowns: Cow<'a, [u64]>,
+        points: Cow<'a, [f32]>,
+    ) -> Result<Self> {
+        if knowns.len() != 2 * traces {
+            return Err(Error::ShapeMismatch {
+                what: "target block knowns",
+                expected: 2 * traces,
+                got: knowns.len(),
+            });
+        }
+        if points.len() != POINTS_PER_TARGET * traces {
+            return Err(Error::ShapeMismatch {
+                what: "target block points",
+                expected: POINTS_PER_TARGET * traces,
+                got: points.len(),
+            });
+        }
+        Ok(TargetBlock { target, traces, knowns, points })
+    }
+
+    /// The flat `FFT(f)` index this block belongs to.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Traces per column.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    /// Known-operand column for `occ` (0 or 1).
+    pub fn known_column(&self, occ: usize) -> &[u64] {
+        debug_assert!(occ < 2);
+        &self.knowns[occ * self.traces..(occ + 1) * self.traces]
+    }
+
+    /// Sample column for one pipeline step of `occ`.
+    pub fn sample_column(&self, occ: usize, step: StepKind) -> &[f32] {
+        debug_assert!(occ < 2);
+        let base = (occ * StepKind::COUNT + step as usize) * self.traces;
+        &self.points[base..base + self.traces]
+    }
+
+    /// Known operand of a single trace.
+    pub fn known(&self, trace: usize, occ: usize) -> u64 {
+        self.known_column(occ)[trace]
+    }
+
+    /// Leakage sample of a single trace at one step.
+    pub fn sample(&self, trace: usize, occ: usize, step: StepKind) -> f32 {
+        self.sample_column(occ, step)[trace]
+    }
+
+    /// Detaches the block from its source, cloning borrowed columns.
+    pub fn into_owned(self) -> TargetBlock<'static> {
+        TargetBlock {
+            target: self.target,
+            traces: self.traces,
+            knowns: Cow::Owned(self.knowns.into_owned()),
+            points: Cow::Owned(self.points.into_owned()),
+        }
+    }
+
+    /// Materialises the block as a single-target resident [`Dataset`]
+    /// (ring degree `n`), e.g. to hand a streamed target to code that
+    /// still wants the full dataset API.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TargetOutOfRange`] when the block's target
+    /// does not fit the ring degree.
+    pub fn to_dataset(&self, n: usize) -> Result<Dataset> {
+        Dataset::try_from_columnar_parts(
+            n,
+            vec![self.target],
+            self.traces,
+            self.knowns.to_vec(),
+            self.points.to_vec(),
+        )
+    }
+}
+
+/// A provider of per-target trace columns.
+///
+/// The contract every consumer relies on:
+///
+/// * `targets()` is the fixed acquisition order; `target_block` only
+///   answers for members of that list.
+/// * All blocks have exactly `traces()` traces, in a stable trace
+///   order shared across targets (trace `i` of one block and trace
+///   `i` of another came from the same signature).
+/// * Repeated `target_block` calls for the same target return
+///   byte-identical columns — sources are immutable snapshots, so
+///   every analysis over them is deterministic.
+pub trait ColumnSource {
+    /// Ring degree of the attacked key.
+    fn n(&self) -> usize;
+
+    /// Targeted flat `FFT(f)` indices, in acquisition order.
+    fn targets(&self) -> &[usize];
+
+    /// Traces per column.
+    fn traces(&self) -> usize;
+
+    /// Lends the complete column set of `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TargetNotInDataset`] for a target outside
+    /// [`ColumnSource::targets`], and I/O or format errors from
+    /// streaming sources.
+    fn target_block(&self, target: usize) -> Result<TargetBlock<'_>>;
+}
+
+impl ColumnSource for Dataset {
+    fn n(&self) -> usize {
+        Dataset::n(self)
+    }
+
+    fn targets(&self) -> &[usize] {
+        Dataset::targets(self)
+    }
+
+    fn traces(&self) -> usize {
+        Dataset::traces(self)
+    }
+
+    fn target_block(&self, target: usize) -> Result<TargetBlock<'_>> {
+        let ti = Dataset::targets(self)
+            .iter()
+            .position(|&t| t == target)
+            .ok_or(Error::TargetNotInDataset { target })?;
+        let traces = Dataset::traces(self);
+        let kbase = ti * 2 * traces;
+        let pbase = ti * POINTS_PER_TARGET * traces;
+        TargetBlock::new(
+            target,
+            traces,
+            Cow::Borrowed(&self.knowns_columnar()[kbase..kbase + 2 * traces]),
+            Cow::Borrowed(&self.points_columnar()[pbase..pbase + POINTS_PER_TARGET * traces]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_emsim::{Device, LeakageModel, MeasurementChain, Scope};
+    use falcon_sig::rng::Prng;
+    use falcon_sig::{KeyPair, LogN};
+
+    fn sample_dataset() -> Dataset {
+        let mut rng = Prng::from_seed(b"source test key");
+        let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+        let chain = MeasurementChain {
+            model: LeakageModel::hamming_weight(1.0, 1.0),
+            lowpass: 0.0,
+            scope: Scope { enabled: false, ..Default::default() },
+            ..Default::default()
+        };
+        let mut dev = Device::new(kp.into_parts().0, chain, b"source bench");
+        let mut msgs = Prng::from_seed(b"source msgs");
+        Dataset::collect(&mut dev, &[0, 2, 5], 9, &mut msgs)
+    }
+
+    #[test]
+    fn resident_blocks_borrow_the_exact_columns() {
+        let ds = sample_dataset();
+        for &t in ds.targets() {
+            let block = ColumnSource::target_block(&ds, t).unwrap();
+            assert_eq!(block.target(), t);
+            assert_eq!(block.traces(), ds.traces());
+            assert!(matches!(block.knowns, Cow::Borrowed(_)));
+            assert!(matches!(block.points, Cow::Borrowed(_)));
+            for occ in 0..2 {
+                assert_eq!(block.known_column(occ), ds.known_column(t, occ));
+                for step in StepKind::ALL {
+                    assert_eq!(block.sample_column(occ, step), ds.sample_column(t, occ, step));
+                    for trace in 0..ds.traces() {
+                        assert_eq!(block.sample(trace, occ, step), ds.sample(trace, t, occ, step));
+                    }
+                }
+                for trace in 0..ds.traces() {
+                    assert_eq!(block.known(trace, occ), ds.known(trace, t, occ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_target_is_typed() {
+        let ds = sample_dataset();
+        match ColumnSource::target_block(&ds, 7) {
+            Err(Error::TargetNotInDataset { target: 7 }) => {}
+            other => panic!("expected TargetNotInDataset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn block_roundtrips_through_a_single_target_dataset() {
+        let ds = sample_dataset();
+        let block = ColumnSource::target_block(&ds, 2).unwrap().into_owned();
+        let single = block.to_dataset(ds.n()).unwrap();
+        assert_eq!(single.targets(), &[2]);
+        assert_eq!(single.traces(), ds.traces());
+        for occ in 0..2 {
+            assert_eq!(single.known_column(2, occ), ds.known_column(2, occ));
+            for step in StepKind::ALL {
+                assert_eq!(single.sample_column(2, occ, step), ds.sample_column(2, occ, step));
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed() {
+        let err = TargetBlock::new(0, 4, Cow::Owned(vec![0u64; 7]), Cow::Owned(vec![0.0; 112]));
+        assert!(matches!(err, Err(Error::ShapeMismatch { what: "target block knowns", .. })));
+        let err = TargetBlock::new(0, 4, Cow::Owned(vec![0u64; 8]), Cow::Owned(vec![0.0; 111]));
+        assert!(matches!(err, Err(Error::ShapeMismatch { what: "target block points", .. })));
+    }
+}

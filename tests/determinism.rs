@@ -24,10 +24,13 @@
 //! metrics registry is process-global, and concurrent tests in the same
 //! binary would interleave their counter deltas.
 
+use falcon_down::dema::acquire::Dataset;
 use falcon_down::dema::cpa::simd::{self, KernelChoice};
 use falcon_down::dema::obs;
 use falcon_down::dema::recover::key_from_fft_bits;
-use falcon_down::dema::{exec, Campaign, CampaignConfig};
+use falcon_down::dema::source::ColumnSource;
+use falcon_down::dema::stream::{self, RingConfig, StreamedDataset};
+use falcon_down::dema::{exec, Campaign, CampaignConfig, OfflineCampaign};
 use falcon_down::emsim::{Device, LeakageModel, MeasurementChain, Scope};
 use falcon_down::sig::rng::Prng;
 use falcon_down::sig::{KeyPair, LogN};
@@ -91,6 +94,89 @@ fn run_campaign() -> RunOutcome {
     RunOutcome { bits, checkpoint, counters }
 }
 
+/// One offline (archive-driven) campaign over any column source:
+/// recovery, NTRU key reconstruction, a seeded forgery, and the
+/// source-independent offline checkpoint bytes.
+fn run_offline<S: ColumnSource + ?Sized>(
+    src: &S,
+    vk: &falcon_down::sig::VerifyingKey,
+) -> (Vec<u64>, Vec<u8>, falcon_down::sig::Signature) {
+    let cfg = CampaignConfig { batch_size: 60, max_traces: 600, ..Default::default() };
+    let mut campaign = OfflineCampaign::new(src, cfg).unwrap();
+    let report = campaign.run(src).unwrap();
+    assert!(report.is_complete(), "offline campaign must converge: {report:?}");
+    let bits = report.recovered_bits().unwrap();
+    let mut checkpoint = Vec::new();
+    campaign.write_checkpoint(&mut checkpoint).unwrap();
+    let rec = key_from_fft_bits(&bits, vk).expect("NTRU key recovery");
+    let mut sig_rng = Prng::from_seed(b"streamed determinism forgery");
+    let forged = rec.sk.sign(b"streamed determinism forgery", &mut sig_rng);
+    assert!(vk.verify(b"streamed determinism forgery", &forged), "forgery must verify");
+    (bits, checkpoint, forged)
+}
+
+/// Resident vs streamed matrix: the same archived FALCON-8 capture
+/// replayed through the in-memory `Dataset` and through
+/// `StreamedDataset` prefetch rings of several depths, at 1 and
+/// `available_parallelism()` workers. Campaign, recovered key,
+/// checkpoint bytes and forgery must be identical everywhere, and the
+/// ring's staging high-water mark must respect `depth × chunk_bytes`.
+fn resident_vs_streamed_matrix() {
+    let mut rng = Prng::from_seed(b"determinism key");
+    let kp = KeyPair::generate(LogN::new(3).unwrap(), &mut rng);
+    let vk = kp.verifying_key().clone();
+    let truth: Vec<u64> = kp.signing_key().f_fft().iter().map(|x| x.to_bits()).collect();
+    let chain = MeasurementChain {
+        model: LeakageModel::hamming_weight(1.0, 1.0),
+        lowpass: 0.0,
+        scope: Scope { enabled: false, ..Default::default() },
+        ..Default::default()
+    };
+    let mut device = Device::new(kp.into_parts().0, chain, b"determinism bench");
+    let mut msgs = Prng::from_seed(b"determinism msgs");
+    let targets: Vec<usize> = (0..8).collect();
+    let ds = Dataset::collect(&mut device, &targets, 600, &mut msgs);
+
+    let dir =
+        std::env::temp_dir().join(format!("falcon-determinism-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let archive = dir.join("capture.fdnd");
+    falcon_down::dema::io::atomic_write(&archive, |w| falcon_down::dema::io::write_dataset(&ds, w))
+        .unwrap();
+    let file_len = std::fs::metadata(&archive).unwrap().len();
+
+    let avail = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    for threads in [1usize, avail] {
+        exec::set_threads(threads);
+        let (bits, ckpt, forged) = run_offline(&ds, &vk);
+        assert_eq!(bits, truth, "resident offline recovery at {threads} thread(s)");
+        for depth in [2usize, 4] {
+            let ring = RingConfig { chunk_bytes: 4096, depth };
+            assert!(
+                file_len > ring.capacity_bytes(),
+                "the archive ({file_len} B) must exceed the resident ring budget \
+                 ({} B) for the out-of-core claim to mean anything",
+                ring.capacity_bytes()
+            );
+            stream::reset_ring_peak();
+            let sd = StreamedDataset::open(&archive, ring).unwrap();
+            let (sbits, sckpt, sforged) = run_offline(&sd, &vk);
+            let what = format!("streamed at {threads} thread(s), ring depth {depth}");
+            assert_eq!(sbits, bits, "recovered key must be bit-identical {what}");
+            assert_eq!(sckpt, ckpt, "offline checkpoint bytes must be identical {what}");
+            assert_eq!(sforged, forged, "forgery must be identical {what}");
+            let peak = obs::gauge("stream.ring_peak_bytes").get();
+            assert!(
+                peak > 0.0 && peak <= ring.capacity_bytes() as f64,
+                "ring peak {peak} B must be within (0, {} B] {what}",
+                ring.capacity_bytes()
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn campaign_is_bit_identical_across_thread_counts() {
     // Restore the ambient configuration even if an assertion fires
@@ -142,4 +228,10 @@ fn campaign_is_bit_identical_across_thread_counts() {
             compare(&run, &format!("with kernel {kernel:?} at {threads} thread(s)"));
         }
     }
+    simd::set_kernel(None);
+
+    // Source axis: the identical capture replayed from memory and from
+    // a chunk-streamed archive must agree bit-for-bit too (same test
+    // binary — the obs registry is process-global).
+    resident_vs_streamed_matrix();
 }
